@@ -1,0 +1,642 @@
+(* Benchmark and experiment harness.
+
+   The paper (PODS '82 / JCSS '84) is pure theory — its "evaluation" is a
+   set of worked figures and complexity claims. Each experiment below
+   regenerates one of them (see DESIGN.md section 5 and EXPERIMENTS.md for
+   the recorded outcomes):
+
+     E1   Fig 1   two-site unsafety with a certificate schedule
+     E2   Cor 1   O(n^2) scaling of the two-site test
+     E2b  [5,14]  subquadratic Proposition 1 test vs the naive Theta(k^2)
+     E3   Fig 3   Lemma 1: picture census of a partial-order system
+     E4   Thm 2   polynomial test vs exponential oracle crossover
+     E5   Fig 5   the four-site gap: D not strongly connected yet safe
+     E6   Thm 3   CNF -> transactions: sat iff unsafe, gadget sizes
+     E7   Prop 2  multi-transaction safety scaling
+     E8   Sec 6   policies under the simulator (2PL vs eager release)
+     E8b  --      cross-site message latency vs makespan and violations
+     E8c  --      closed-loop throughput per locking style
+     E9   --      Theorem 1 precision per site count + the 3-site probe
+     E10  Sec 6   repair by precedence insertion (the closing remark)
+     E11  [7]     deadlock and safety are orthogonal axes
+     E12  Sec 1   shared locks: the theory is unchanged
+
+   Wall-clock tables are printed first; Bechamel micro-benchmarks (one
+   Test.make per experiment family) run at the end. *)
+
+open Distlock_core
+open Distlock_txn
+
+let pf = Printf.printf
+
+let rule title =
+  pf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let ms t = t *. 1_000.
+
+(* ------------------------------------------------------------------ *)
+(* E1: Fig 1 *)
+
+let e1 () =
+  rule "E1 (Fig 1): two-site unsafety with certificate";
+  let sys = Figures.fig1 () in
+  let verdict, t = time (fun () -> Twosite.decide sys) in
+  match verdict with
+  | Twosite.Unsafe cert ->
+      pf "verdict: UNSAFE in %.3f ms; certificate verified: %b\n" (ms t)
+        (Certificate.verify sys cert);
+      pf "schedule: %s\n"
+        (Distlock_sched.Schedule.to_string sys cert.Certificate.schedule)
+  | Twosite.Safe -> pf "UNEXPECTED: safe\n"
+
+(* ------------------------------------------------------------------ *)
+(* E2: Corollary 1 scaling *)
+
+let e2 () =
+  rule "E2 (Corollary 1): two-site safety test scaling (expected ~O(n^2))";
+  pf "%8s %14s %8s\n" "steps" "median test" "ratio";
+  let prev = ref None in
+  List.iter
+    (fun shared ->
+      let rng = Random.State.make [| 7 * shared |] in
+      let sys =
+        Txn_gen.random_pair_system rng ~num_shared:shared ~num_private:0
+          ~num_sites:2 ~cross_prob:0.3 ()
+      in
+      let n = System.total_steps sys in
+      let times =
+        List.sort compare
+          (List.init 3 (fun _ ->
+               snd
+                 (time (fun () ->
+                      ignore (Twosite.decide_connectivity_only sys)))))
+      in
+      let t = List.nth times 1 in
+      let ratio =
+        match !prev with Some p when p > 0. -> t /. p | _ -> Float.nan
+      in
+      prev := Some t;
+      pf "%8d %11.3f ms %8.2f\n" n (ms t) ratio)
+    [ 8; 16; 32; 64; 128; 256 ]
+
+(* E2b: arc-compressed Proposition 1 test (the [5,14] direction) *)
+
+let random_rects rng k =
+  let axis () =
+    let slots = Array.init (2 * k) (fun i -> i mod k) in
+    for i = (2 * k) - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let t = slots.(i) in
+      slots.(i) <- slots.(j);
+      slots.(j) <- t
+    done;
+    let l = Array.make k 0
+    and u = Array.make k 0
+    and seen = Array.make k false in
+    Array.iteri
+      (fun pos e ->
+        if seen.(e) then u.(e) <- pos + 1
+        else begin
+          seen.(e) <- true;
+          l.(e) <- pos + 1
+        end)
+      slots;
+    (l, u)
+  in
+  let l1, u1 = axis () and l2, u2 = axis () in
+  List.init k (fun e ->
+      {
+        Distlock_geometry.Rect.entity = e;
+        x_lock = l1.(e);
+        x_unlock = u1.(e);
+        y_lock = l2.(e);
+        y_unlock = u2.(e);
+      })
+
+let e2b () =
+  rule
+    "E2b (Prop 1, [5,14] direction): naive Theta(k^2) vs arc-compressed \
+     O(k log^2 k) safety test";
+  pf "%8s %12s %12s %9s\n" "rects" "naive" "compressed" "speedup";
+  let rng = Random.State.make [| 99 |] in
+  List.iter
+    (fun k ->
+      let rects = random_rects rng k in
+      let fast, tf =
+        time (fun () -> Distlock_geometry.Fast_test.rects_strongly_connected rects)
+      in
+      if k <= 2048 then begin
+        let naive, tn =
+          time (fun () ->
+              Distlock_geometry.Separation.rects_strongly_connected rects)
+        in
+        assert (naive = fast);
+        pf "%8d %9.1f ms %9.1f ms %8.1fx\n" k (ms tn) (ms tf)
+          (tn /. max 1e-9 tf)
+      end
+      else pf "%8d %12s %9.1f ms %9s\n" k "(skipped)" (ms tf) "-")
+    [ 256; 1024; 2048; 8192 ]
+
+(* ------------------------------------------------------------------ *)
+(* E3: Fig 3 picture census *)
+
+let e3 () =
+  rule "E3 (Fig 3 / Lemma 1): picture census of a partial-order system";
+  let sys = Figures.fig3 () in
+  let t1, t2 = System.pair sys in
+  let safe = ref 0 and unsafe = ref 0 in
+  let (), t =
+    time (fun () ->
+        Distlock_order.Linext.iter (Txn.order t1) (fun e1 ->
+            let e1 = Array.copy e1 in
+            Distlock_order.Linext.iter (Txn.order t2) (fun e2 ->
+                let plane =
+                  Distlock_geometry.Plane.of_extensions sys e1 (Array.copy e2)
+                in
+                if Distlock_geometry.Separation.is_safe plane then incr safe
+                else incr unsafe)))
+  in
+  pf "pictures: %d safe, %d unsafe (%.1f ms) -> system UNSAFE by Lemma 1\n"
+    !safe !unsafe (ms t);
+  pf "Theorem 2 verdict: %s\n"
+    (match Twosite.decide sys with
+    | Twosite.Safe -> "SAFE (WRONG)"
+    | Twosite.Unsafe _ -> "UNSAFE (agrees)")
+
+(* ------------------------------------------------------------------ *)
+(* E4: crossover polynomial vs exponential *)
+
+let e4 () =
+  rule "E4 (Theorem 2): polynomial test vs exponential Lemma-1 oracle";
+  pf "(safe instances: the oracle cannot exit early and must check every picture)\n";
+  pf "%8s %8s %14s %16s %10s\n" "shared" "steps" "Theorem 2" "oracle" "speedup";
+  List.iter
+    (fun shared ->
+      let rng = Random.State.make [| 13 * shared |] in
+      (* rejection-sample a SAFE system so the oracle exhausts the space *)
+      let rec safe_instance attempts =
+        let sys =
+          Txn_gen.random_pair_system rng ~num_shared:shared ~num_private:1
+            ~num_sites:2 ~cross_prob:0.25 ()
+        in
+        if attempts = 0 || Twosite.decide_connectivity_only sys then sys
+        else safe_instance (attempts - 1)
+      in
+      let sys = safe_instance 500 in
+      let n = System.total_steps sys in
+      let _, t_fast = time (fun () -> ignore (Twosite.decide sys)) in
+      let oracle_result, t_brute =
+        time (fun () ->
+            try Some (Brute.safe_by_extensions ~limit:3_000_000 sys)
+            with Failure _ -> None)
+      in
+      match oracle_result with
+      | Some _ ->
+          pf "%8d %8d %11.3f ms %13.3f ms %9.0fx\n" shared n (ms t_fast)
+            (ms t_brute)
+            (t_brute /. max 1e-9 t_fast)
+      | None ->
+          pf "%8d %8d %11.3f ms %16s %10s\n" shared n (ms t_fast)
+            "> 3M pictures" "inf")
+    [ 2; 3; 4; 5; 6; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* E5: Fig 5 *)
+
+let e5 () =
+  rule "E5 (Fig 5): four sites — strong connectivity is not necessary";
+  let sys = Figures.fig5 () in
+  let d = Dgraph.build_pair sys in
+  pf "D strongly connected: %b\n" (Dgraph.is_strongly_connected d);
+  List.iter
+    (fun x ->
+      let dom = Dgraph.entity_set d x in
+      match Closure.close sys ~dominator:dom with
+      | Closure.Closed _ -> pf "dominator closes (UNEXPECTED)\n"
+      | Closure.Failed (Closure.Would_cycle { txn }) ->
+          pf "unique dominator {x1,x2}: closure forces a cycle in T%d\n"
+            (txn + 1)
+      | Closure.Failed Closure.Dominator_lost -> pf "dominator lost\n")
+    (Dgraph.dominators d);
+  let verdict, t = time (fun () -> Brute.safe_by_extensions sys) in
+  pf "exhaustive Lemma-1 check: %s (%.1f ms)\n"
+    (match verdict with Brute.Safe -> "SAFE" | Brute.Unsafe _ -> "UNSAFE")
+    (ms t)
+
+(* ------------------------------------------------------------------ *)
+(* E6: Theorem 3 reduction *)
+
+let e6 () =
+  rule "E6 (Theorem 3): CNF satisfiability via unsafety of the gadget";
+  pf "%6s %8s %9s %7s %7s %7s %12s\n" "vars" "clauses" "entities" "DPLL"
+    "unsafe" "agree" "sweep time";
+  let agree_all = ref true in
+  List.iter
+    (fun nv ->
+      let rng = Random.State.make [| 101 * nv |] in
+      let f =
+        Distlock_sat.Sat_gen.random_restricted rng ~num_vars:nv ~num_clauses:nv
+      in
+      if f.Distlock_sat.Cnf.clauses <> [] then begin
+        let g = Reduction.encode f in
+        let sat = Distlock_sat.Dpll.is_satisfiable f in
+        let unsafe, t =
+          time (fun () -> Reduction.decide_unsafe_by_closure g <> None)
+        in
+        if sat <> unsafe then agree_all := false;
+        pf "%6d %8d %9d %7b %7b %7b %10.1f ms\n" nv
+          (Distlock_sat.Cnf.num_clauses f)
+          (Reduction.num_entities g) sat unsafe (sat = unsafe) (ms t)
+      end)
+    [ 3; 4; 5; 6; 7 ];
+  pf "all rows agree (sat <=> unsafe): %b\n" !agree_all
+
+(* ------------------------------------------------------------------ *)
+(* E7: Proposition 2 scaling *)
+
+let e7 () =
+  rule "E7 (Proposition 2): multi-transaction safety";
+  pf "%6s %8s %10s %12s %10s\n" "txns" "cycles" "verdict" "time" "oracle";
+  List.iter
+    (fun k ->
+      let rng = Random.State.make [| 23 * k |] in
+      let sys =
+        Txn_gen.random_multi_system rng ~num_txns:k ~num_entities:(k + 2)
+          ~entities_per_txn:2 ~num_sites:2 ~cross_prob:0.6 ()
+      in
+      let cycles =
+        List.length (Multisite.simple_cycles (Multisite.conflict_graph sys))
+      in
+      let verdict, t = time (fun () -> Multisite.decide sys) in
+      let oracle =
+        if k <= 4 then
+          match Brute.safe_by_schedules ~limit:3_000_000 sys with
+          | Brute.Safe -> "SAFE"
+          | Brute.Unsafe _ -> "UNSAFE"
+          | exception Failure _ -> "(budget)"
+        else "(skipped)"
+      in
+      pf "%6d %8d %10s %10.1f ms %10s\n" k cycles
+        (match verdict with
+        | Multisite.Safe -> "SAFE"
+        | Multisite.Unsafe _ -> "UNSAFE")
+        (ms t) oracle)
+    [ 3; 4; 5; 6 ]
+
+(* ------------------------------------------------------------------ *)
+(* E8: policies under the simulator *)
+
+let e8 () =
+  rule "E8 (Section 6): locking styles under the lock-manager simulator";
+  pf "%-24s %6s %11s %8s %10s %8s\n" "style" "runs" "violations" "aborts"
+    "deadlocks" "ticks";
+  let rng = Random.State.make [| 4242 |] in
+  List.iter
+    (fun (label, style) ->
+      let db = Database.create () in
+      Database.add_all db
+        (List.init 8 (fun i -> (Printf.sprintf "e%d" i, 1 + (i mod 3))));
+      let sys =
+        Distlock_sim.Workload.make rng ~db ~style ~num_txns:6
+          ~entities_per_txn:3
+      in
+      let s =
+        Distlock_sim.Workload.measure ~seeds:(List.init 30 Fun.id) sys
+      in
+      pf "%-24s %6d %11d %8d %10d %8d\n" label s.Distlock_sim.Workload.runs
+        s.Distlock_sim.Workload.violations
+        s.Distlock_sim.Workload.total_aborts
+        s.Distlock_sim.Workload.total_deadlocks
+        s.Distlock_sim.Workload.total_ticks)
+    [
+      ("two-phase", Distlock_sim.Workload.Two_phase);
+      ("sequential sections", Distlock_sim.Workload.Sequential);
+      ("random locked (0.3)", Distlock_sim.Workload.Random_locked 0.3);
+    ]
+
+(* E8c: closed-loop throughput per locking style *)
+
+let e8c () =
+  rule "E8c: closed-loop throughput per locking style (20 rounds x 5 txns)";
+  pf "%-24s %9s %8s %18s %11s\n" "style" "commits" "ticks" "commits/kilotick"
+    "violations";
+  List.iter
+    (fun (label, style) ->
+      let rng = Random.State.make [| 515 |] in
+      let db = Database.create () in
+      Database.add_all db
+        (List.init 8 (fun i -> (Printf.sprintf "e%d" i, 1 + (i mod 3))));
+      let t =
+        Distlock_sim.Workload.closed_loop rng ~db ~style ~num_txns:5
+          ~entities_per_txn:3 ~rounds:20 ()
+      in
+      pf "%-24s %9d %8d %18.1f %8d/%d\n" label t.Distlock_sim.Workload.committed
+        t.Distlock_sim.Workload.total_ticks
+        t.Distlock_sim.Workload.commits_per_kilotick
+        t.Distlock_sim.Workload.violation_rounds t.Distlock_sim.Workload.rounds)
+    [
+      ("two-phase", Distlock_sim.Workload.Two_phase);
+      ("sequential sections", Distlock_sim.Workload.Sequential);
+      ("random locked (0.3)", Distlock_sim.Workload.Random_locked 0.3);
+    ]
+
+(* E8b: the effect of cross-site message latency *)
+
+let e8b () =
+  rule "E8b: message latency vs violations and makespan";
+  (* a workload WITH cross-site precedences (messages to wait for):
+     transactions spanning 3 sites, moderate synchronization *)
+  let rng = Random.State.make [| 88 |] in
+  let sys =
+    Txn_gen.random_multi_system rng ~num_txns:4 ~num_entities:6
+      ~entities_per_txn:3 ~num_sites:3 ~with_updates:true ~cross_prob:0.5 ()
+  in
+  pf "%8s %12s %14s\n" "delay" "violations" "avg makespan";
+  List.iter
+    (fun delay ->
+      let seeds = List.init 30 Fun.id in
+      let violations = ref 0 and ticks = ref 0 and runs = ref 0 in
+      List.iter
+        (fun seed ->
+          match
+            Distlock_sim.Engine.run ~policy:(Distlock_sim.Engine.Random seed)
+              ~cross_site_delay:delay sys
+          with
+          | Error _ -> ()
+          | Ok o ->
+              incr runs;
+              if not o.Distlock_sim.Engine.serializable then incr violations;
+              ticks := !ticks + o.Distlock_sim.Engine.stats.Distlock_sim.Engine.ticks)
+        seeds;
+      pf "%8d %9d/%d %11.1f\n" delay !violations !runs
+        (float_of_int !ticks /. float_of_int (max 1 !runs)))
+    [ 0; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* E9: precision of the Theorem 1 condition per site count *)
+
+let e9 () =
+  rule "E9: how often is strong connectivity exact? (gap = not-SC yet safe)";
+  pf "%6s %9s %9s %7s %26s\n" "sites" "samples" "not-SC" "gap" "note";
+  List.iter
+    (fun sites ->
+      let rng = Random.State.make [| 31 * sites |] in
+      let samples = 150 in
+      let not_sc = ref 0 and gap = ref 0 in
+      for _ = 1 to samples do
+        let sys =
+          Txn_gen.random_pair_system rng ~num_shared:3 ~num_private:0
+            ~num_sites:sites
+            ~cross_prob:(Random.State.float rng 1.0) ()
+        in
+        if not (Theorem1.guarantees_safe sys) then begin
+          incr not_sc;
+          match Brute.safe_by_extensions sys with
+          | Brute.Safe -> incr gap
+          | Brute.Unsafe _ -> ()
+        end
+      done;
+      let note =
+        if sites <= 2 then "Theorem 2: gap must be 0" else "necessity can fail"
+      in
+      pf "%6d %9d %9d %7d %26s\n" sites samples !not_sc !gap note)
+    [ 1; 2; 3; 4 ];
+  let sys = Figures.fig5 () in
+  pf "Fig 5 exhibit (4 sites): not-SC = %b, safe = %b\n"
+    (not (Theorem1.guarantees_safe sys))
+    (Brute.safe_by_extensions sys = Brute.Safe);
+  (* The paper leaves three sites open: hunt for a 3-site gap instance. *)
+  pf "\nopen-problem probe: searching for a 3-site not-SC-yet-safe system...\n";
+  let rng = Random.State.make [| 2718 |] in
+  let tried = ref 0 and notsc = ref 0 and unclosed = ref 0 and gap = ref 0 in
+  while !tried < 1500 do
+    incr tried;
+    let sys =
+      Txn_gen.random_pair_system rng ~num_shared:4 ~num_private:0 ~num_sites:3
+        ~cross_prob:(0.05 +. Random.State.float rng 0.3) ()
+    in
+    if List.length (System.sites_used sys) = 3 then begin
+      let d = Dgraph.build_pair sys in
+      if not (Dgraph.is_strongly_connected d) then begin
+        incr notsc;
+        if Closure.first_unsafe_dominator sys = None then begin
+          incr unclosed;
+          match Brute.safe_by_extensions ~limit:500_000 sys with
+          | Brute.Safe -> incr gap
+          | Brute.Unsafe _ | (exception Failure _) -> ()
+        end
+      end
+    end
+  done;
+  pf
+    "3-site probe: %d sampled, %d not-SC, %d with no closing dominator, %d \
+     gap instances found\n" !tried !notsc !unclosed !gap;
+  pf
+    "(132 structured Fig-5 co-location variants also yield none: co-locating \
+     any two entities restores strong connectivity)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E10: repair by precedence insertion *)
+
+let e10 () =
+  rule "E10 (closing remark): repairing unsafe systems via Theorem 1";
+  pf "%6s %9s %10s %9s %8s %14s\n" "sites" "samples" "unsafe" "repaired"
+    "stuck" "avg loss";
+  List.iter
+    (fun sites ->
+      let rng = Random.State.make [| 47 * sites |] in
+      let samples = 60 in
+      let unsafe_n = ref 0 and repaired = ref 0 and stuck = ref 0 in
+      let loss = ref 0 in
+      for _ = 1 to samples do
+        let sys =
+          Txn_gen.random_pair_system rng ~num_shared:3 ~num_private:1
+            ~num_sites:sites ~cross_prob:(Random.State.float rng 0.5) ()
+        in
+        if not (Theorem1.guarantees_safe sys) then begin
+          incr unsafe_n;
+          match Repair.make_safe sys with
+          | Some (sys', _) ->
+              incr repaired;
+              loss := !loss + Repair.concurrency_loss ~before:sys ~after:sys'
+          | None -> incr stuck
+        end
+      done;
+      pf "%6d %9d %10d %9d %8d %11.1f\n" sites samples !unsafe_n !repaired
+        !stuck
+        (if !repaired = 0 then Float.nan
+         else float_of_int !loss /. float_of_int !repaired))
+    [ 2; 3; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* E11: deadlock geometry *)
+
+let e11 () =
+  rule "E11 ([7] aside): safety and deadlock are independent axes";
+  let rng = Random.State.make [| 59 |] in
+  let tally = Array.make_matrix 2 2 0 in
+  let samples = 300 in
+  for _ = 1 to samples do
+    let sys =
+      Txn_gen.random_pair_system rng ~num_shared:(2 + Random.State.int rng 3)
+        ~num_private:1 ~num_sites:(1 + Random.State.int rng 3) ~cross_prob:1.0
+        ()
+    in
+    let plane = Distlock_geometry.Plane.make sys in
+    let safe = if Distlock_geometry.Separation.is_safe plane then 1 else 0 in
+    let dead = if Distlock_geometry.Deadlock.possible plane then 1 else 0 in
+    tally.(safe).(dead) <- tally.(safe).(dead) + 1
+  done;
+  pf "%d random totally ordered pairs:\n" samples;
+  pf "%22s %12s %12s\n" "" "no deadlock" "deadlock";
+  pf "%22s %12d %12d\n" "unsafe" tally.(0).(0) tally.(0).(1);
+  pf "%22s %12d %12d\n" "safe" tally.(1).(0) tally.(1).(1);
+  pf "all four quadrants are populated: the two properties are orthogonal\n"
+
+(* ------------------------------------------------------------------ *)
+(* E12: shared locks — "variants change the theory very little" *)
+
+let e12 () =
+  rule "E12 (Section 1 variants): shared locks, safety vs read fraction";
+  pf "%14s %9s %9s %9s %12s\n" "shared_prob" "samples" "safe" "agree"
+    "avg |D|";
+  List.iter
+    (fun shared_prob ->
+      let rng = Random.State.make [| int_of_float (shared_prob *. 100.) + 3 |] in
+      let samples = 60 in
+      let safe_n = ref 0 and agree = ref 0 and decided = ref 0 in
+      let conflict_sum = ref 0 in
+      for _ = 1 to samples do
+        let sys =
+          Distlock_rw.Rw_gen.random_pair rng ~num_shared:3 ~num_sites:2
+            ~shared_prob ~cross_prob:(Random.State.float rng 1.0) ()
+        in
+        let fast = Distlock_rw.Rw_safety.twosite_decide sys in
+        conflict_sum :=
+          !conflict_sum
+          + List.length (Distlock_rw.Rw_system.conflicting_common sys);
+        if fast then incr safe_n;
+        match Distlock_rw.Rw_system.safe ~limit:1_000_000 sys with
+        | exception Failure _ -> ()
+        | oracle ->
+            incr decided;
+            if oracle = fast then incr agree
+      done;
+      pf "%14.1f %9d %9d %6d/%d %12.2f\n" shared_prob samples !safe_n !agree
+        !decided
+        (float_of_int !conflict_sum /. float_of_int samples))
+    [ 0.0; 0.3; 0.6; 1.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks *)
+
+let bechamel_benches () =
+  rule "Bechamel micro-benchmarks (OLS time per call)";
+  let open Bechamel in
+  let fig1 = Figures.fig1 () in
+  let rng = Random.State.make [| 5 |] in
+  let sys_big =
+    Txn_gen.random_pair_system rng ~num_shared:64 ~num_private:0 ~num_sites:2
+      ~cross_prob:0.3 ()
+  in
+  let sat3 =
+    Distlock_sat.Cnf.make ~num_vars:3
+      [
+        [ Distlock_sat.Cnf.pos 0; Distlock_sat.Cnf.pos 1 ];
+        [ Distlock_sat.Cnf.neg 0; Distlock_sat.Cnf.pos 2 ];
+        [ Distlock_sat.Cnf.pos 1; Distlock_sat.Cnf.neg 2 ];
+      ]
+  in
+  let multi =
+    Txn_gen.random_multi_system rng ~num_txns:4 ~num_entities:6
+      ~entities_per_txn:2 ~num_sites:2 ~cross_prob:0.6 ()
+  in
+  let g512 =
+    Distlock_graph.Digraph.of_arcs 512
+      (List.concat
+         (List.init 512 (fun i ->
+              [ (i, (i + 1) mod 512); (i, (i + 7) mod 512) ])))
+  in
+  let tests =
+    [
+      Test.make ~name:"E1/fig1-theorem2"
+        (Staged.stage (fun () -> ignore (Twosite.decide fig1)));
+      Test.make ~name:"E2/corollary1-n128"
+        (Staged.stage (fun () ->
+             ignore (Twosite.decide_connectivity_only sys_big)));
+      Test.make ~name:"E2/dgraph-build-n128"
+        (Staged.stage (fun () -> ignore (Dgraph.build_pair sys_big)));
+      Test.make ~name:"E4/certificate-fig1"
+        (Staged.stage (fun () ->
+             match Twosite.decide fig1 with
+             | Twosite.Unsafe c -> ignore (Certificate.verify fig1 c)
+             | Twosite.Safe -> ()));
+      Test.make ~name:"E6/encode-3vars"
+        (Staged.stage (fun () -> ignore (Reduction.encode sat3)));
+      Test.make ~name:"E7/prop2-4txns"
+        (Staged.stage (fun () -> ignore (Multisite.decide multi)));
+      Test.make ~name:"E8/simulate-fig1"
+        (Staged.stage (fun () ->
+             ignore
+               (Distlock_sim.Engine.run
+                  ~policy:(Distlock_sim.Engine.Random 3) fig1)));
+      Test.make ~name:"graph/scc-512"
+        (Staged.stage (fun () -> ignore (Distlock_graph.Scc.compute g512)));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  pf "%-26s %14s %10s\n" "benchmark" "time/call" "r^2";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      Hashtbl.iter
+        (fun name bench ->
+          let est = Analyze.one ols instance bench in
+          let nanos =
+            match Analyze.OLS.estimates est with
+            | Some (e :: _) -> e
+            | _ -> Float.nan
+          in
+          let r2 =
+            Option.value ~default:Float.nan (Analyze.OLS.r_square est)
+          in
+          let pretty =
+            if nanos > 1e9 then Printf.sprintf "%8.3f  s" (nanos /. 1e9)
+            else if nanos > 1e6 then Printf.sprintf "%8.3f ms" (nanos /. 1e6)
+            else if nanos > 1e3 then Printf.sprintf "%8.3f us" (nanos /. 1e3)
+            else Printf.sprintf "%8.1f ns" nanos
+          in
+          pf "%-26s %14s %10.4f\n%!" name pretty r2)
+        results)
+    tests
+
+let () =
+  pf "distlock benchmark harness — reproducing Kanellakis & Papadimitriou 1982\n";
+  e1 ();
+  e2 ();
+  e2b ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8 ();
+  e8b ();
+  e8c ();
+  e9 ();
+  e10 ();
+  e11 ();
+  e12 ();
+  bechamel_benches ();
+  pf "\ndone.\n"

@@ -1,0 +1,320 @@
+(* distlock — command-line front end.
+
+   Subcommands:
+     check     decide safety of a transaction system file
+     dgraph    print D(T1,T2) (optionally as Graphviz)
+     figures   print the paper's worked examples with verdicts
+     reduce    encode a DIMACS CNF as a transaction system (Theorem 3)
+     simulate  run the lock-manager simulator on a system file *)
+
+open Cmdliner
+open Distlock_core
+open Distlock_txn
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_system path =
+  match Parse.system_of_string (read_file path) with
+  | Ok sys -> sys
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+
+(* Returns an exit status: 0 safe, 1 unsafe, 3 unknown. *)
+let print_verdict sys =
+  if System.num_txns sys = 2 then begin
+    match Safety.decide_pair sys with
+    | Safety.Safe why ->
+        Printf.printf "SAFE — %s\n" why;
+        0
+    | Safety.Unsafe ev ->
+        Printf.printf "UNSAFE\n";
+        (match ev with
+        | Safety.Certificate c -> Format.printf "%a@." (Certificate.pp sys) c
+        | Safety.Counterexample h ->
+            Printf.printf "non-serializable schedule:\n  %s\n"
+              (Distlock_sched.Schedule.to_string sys h));
+        1
+    | Safety.Unknown msg ->
+        Printf.printf "UNKNOWN — %s\n" msg;
+        3
+  end
+  else begin
+    match Multisite.decide sys with
+    | Multisite.Safe ->
+        Printf.printf "SAFE — Proposition 2\n";
+        0
+    | Multisite.Unsafe (Multisite.Unsafe_pair (i, j)) ->
+        Printf.printf "UNSAFE — transactions %s and %s form an unsafe pair\n"
+          (Txn.name (System.txn sys i))
+          (Txn.name (System.txn sys j));
+        1
+    | Multisite.Unsafe (Multisite.Acyclic_bc cycle) ->
+        Printf.printf "UNSAFE — conflict-graph cycle (%s) has an acyclic B_c\n"
+          (String.concat " -> "
+             (List.map (fun i -> Txn.name (System.txn sys i)) cycle));
+        1
+  end
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let check_cmd =
+  let run file =
+    let sys = load_system file in
+    (match System.validate sys with
+    | [] -> ()
+    | vs ->
+        List.iter
+          (fun (t, v) ->
+            Printf.eprintf "warning: %s: %s\n" (Txn.name t)
+              (Validate.to_string (System.db sys) t v))
+          vs);
+    exit (print_verdict sys)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Decide safety of a locked transaction system")
+    Term.(const run $ file_arg)
+
+let dgraph_cmd =
+  let run file dot =
+    let sys = load_system file in
+    let d = Dgraph.build_pair sys in
+    if dot then
+      print_string
+        (Distlock_graph.Digraph.to_dot
+           ~label:(fun v ->
+             Database.name (System.db sys) (Dgraph.entities d).(v))
+           (Dgraph.graph d))
+    else begin
+      Format.printf "%a@." (Dgraph.pp (System.db sys)) d;
+      Printf.printf "strongly connected: %b\n" (Dgraph.is_strongly_connected d)
+    end
+  in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz") in
+  Cmd.v
+    (Cmd.info "dgraph" ~doc:"Print D(T1,T2) of a two-transaction system")
+    Term.(const run $ file_arg $ dot)
+
+let figures_cmd =
+  let run () =
+    List.iter
+      (fun (name, sys) ->
+        Printf.printf "### %s\n%s\n" name (Parse.system_to_string sys);
+        ignore (print_verdict sys))
+      (Figures.all ())
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Print the paper's worked examples with verdicts")
+    Term.(const run $ const ())
+
+let reduce_cmd =
+  let run file decide =
+    match Distlock_sat.Dimacs.of_string (read_file file) with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    | Ok f -> (
+        match Distlock_sat.Normalize.run f with
+        | None -> Printf.printf "trivially unsatisfiable (empty clause)\n"
+        | Some { Distlock_sat.Normalize.formula = g; _ } ->
+            Printf.printf
+              "# restricted form: %d vars, %d clauses\n" g.Distlock_sat.Cnf.num_vars
+              (Distlock_sat.Cnf.num_clauses g);
+            let gadget = Reduction.encode g in
+            Printf.printf "# gadget: %d entities (one site each)\n"
+              (Reduction.num_entities gadget);
+            print_string (Parse.system_to_string (Reduction.system gadget));
+            if decide then
+              match Reduction.decide_unsafe_by_closure gadget with
+              | Some _ -> Printf.printf "# UNSAFE, hence SATISFIABLE\n"
+              | None -> Printf.printf "# safe, hence UNSATISFIABLE\n")
+  in
+  let decide =
+    Arg.(value & flag & info [ "decide" ]
+           ~doc:"Also decide satisfiability via the dominator-closure sweep \
+                 (exponential)")
+  in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:"Encode a DIMACS CNF as a pair of distributed transactions \
+             (Theorem 3)")
+    Term.(const run $ file_arg $ decide)
+
+let analyze_cmd =
+  let run file =
+    let sys = load_system file in
+    if System.num_txns sys <> 2 then begin
+      Printf.eprintf "error: analyze expects a two-transaction system\n";
+      exit 2
+    end;
+    Format.printf "%a@." Analysis.pp (Analysis.pair sys)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Full diagnostic report for a two-transaction system")
+    Term.(const run $ file_arg)
+
+let repair_cmd =
+  let run file =
+    let sys = load_system file in
+    if System.num_txns sys <> 2 then begin
+      Printf.eprintf "error: repair expects a two-transaction system\n";
+      exit 2
+    end;
+    match Repair.make_safe sys with
+    | None ->
+        Printf.printf "# no precedence insertion makes this system safe\n";
+        exit 1
+    | Some (sys', insertions) ->
+        Printf.printf "# %d precedence(s) inserted; system now SAFE (Theorem 1)\n"
+          (List.length insertions);
+        List.iter
+          (fun { Repair.txn; before; after } ->
+            let t = System.txn sys' txn in
+            Printf.printf "# %s: %s before %s\n" (Txn.name t)
+              (Txn.label t before) (Txn.label t after))
+          insertions;
+        print_string (Parse.system_to_string sys')
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:"Insert precedences until D(T1,T2) is strongly connected and \
+             print the repaired system")
+    Term.(const run $ file_arg)
+
+let deadlock_cmd =
+  let run file =
+    let sys = load_system file in
+    let t1, t2 = System.pair sys in
+    if not (Txn.is_total t1 && Txn.is_total t2) then begin
+      (* partial orders: state exploration *)
+      let d = Distlock_sched.Enumerate.has_deadlock sys in
+      Printf.printf "deadlock reachable (state exploration): %b\n" d;
+      exit (if d then 1 else 0)
+    end;
+    let plane = Distlock_geometry.Plane.make sys in
+    match Distlock_geometry.Deadlock.reachable_deadlocks plane with
+    | [] -> Printf.printf "deadlock: impossible\n"
+    | states ->
+        Printf.printf "deadlock: %d reachable state(s)\n" (List.length states);
+        (match Distlock_geometry.Deadlock.witness_prefix plane with
+        | Some prefix ->
+            Printf.printf "witness prefix: %s\n"
+              (String.concat " "
+                 (List.map
+                    (fun (ti, s) ->
+                      Printf.sprintf "%s_%d"
+                        (Step.to_string (System.db sys)
+                           (Txn.step (System.txn sys ti) s))
+                        (ti + 1))
+                    prefix))
+        | None -> ());
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "deadlock"
+       ~doc:"Deadlock analysis of a two-transaction system (geometric for \
+             total orders, state exploration otherwise)")
+    Term.(const run $ file_arg)
+
+let advise_cmd =
+  let run file =
+    let sys = load_system file in
+    if System.num_txns sys <> 2 then begin
+      Printf.eprintf "error: advise expects a two-transaction system\n";
+      exit 2
+    end;
+    match Safety.decide_pair sys with
+    | Safety.Safe why ->
+        Printf.printf "already SAFE — %s\n" why
+    | Safety.Unknown m ->
+        Printf.printf "UNKNOWN — %s\n" m;
+        exit 3
+    | Safety.Unsafe _ -> (
+        Printf.printf "UNSAFE; repair options (cheapest first):\n";
+        match Advisor.advise sys with
+        | [] ->
+            Printf.printf "  none found\n";
+            exit 1
+        | options ->
+            List.iter
+              (fun o ->
+                Printf.printf "  %-22s loss: %d newly ordered pair(s)\n"
+                  (Advisor.strategy_name o.Advisor.strategy)
+                  o.Advisor.concurrency_loss)
+              options)
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:"Compare repair strategies for an unsafe two-transaction system")
+    Term.(const run $ file_arg)
+
+let show_cmd =
+  let run file =
+    let sys = load_system file in
+    print_string (Parse.system_to_string sys);
+    print_newline ();
+    print_string (Pretty.system sys)
+  in
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:"Print a system in the text format and as per-site columns")
+    Term.(const run $ file_arg)
+
+let plane_cmd =
+  let run file =
+    let sys = load_system file in
+    let t1, t2 = System.pair sys in
+    if not (Txn.is_total t1 && Txn.is_total t2) then begin
+      Printf.eprintf
+        "error: plane rendering needs totally ordered transactions\n";
+      exit 2
+    end;
+    let plane = Distlock_geometry.Plane.make sys in
+    match Safety.decide_pair sys with
+    | Safety.Unsafe ev ->
+        Printf.printf "UNSAFE — separating staircase:\n";
+        print_string
+          (Distlock_geometry.Render.plane
+             ~schedule:(Safety.schedule_of_evidence ev) plane)
+    | Safety.Safe _ | Safety.Unknown _ ->
+        print_string (Distlock_geometry.Render.plane plane)
+  in
+  Cmd.v
+    (Cmd.info "plane"
+       ~doc:"Draw the coordinated plane of a totally ordered pair, with \
+             the separating schedule when unsafe")
+    Term.(const run $ file_arg)
+
+let simulate_cmd =
+  let run file seeds =
+    let sys = load_system file in
+    let summary =
+      Distlock_sim.Workload.measure ~seeds:(List.init seeds Fun.id) sys
+    in
+    Format.printf "%a@." Distlock_sim.Workload.pp_summary summary
+  in
+  let seeds =
+    Arg.(value & opt int 20 & info [ "seeds" ] ~doc:"Number of seeded runs")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the lock-manager simulator on a system")
+    Term.(const run $ file_arg $ seeds)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "distlock" ~version:"1.0.0"
+             ~doc:"Safety of distributed locked transactions (Kanellakis & \
+                   Papadimitriou 1982)")
+          [ advise_cmd; check_cmd; analyze_cmd; dgraph_cmd; deadlock_cmd;
+            figures_cmd; plane_cmd; reduce_cmd; repair_cmd; show_cmd;
+            simulate_cmd ]))

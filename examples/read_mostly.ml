@@ -1,0 +1,72 @@
+(* Shared locks: how read-mostly workloads regain safety.
+
+   The paper notes (Section 1) that lock variants like shared locks
+   "change the theory very little": the same strong-connectivity test
+   applies, but only entities on which the two transactions genuinely
+   conflict — at least one side exclusive — enter the digraph. A pair
+   that is unsafe under all-exclusive locking can become provably safe
+   once its read locks are downgraded to shared: the read-read entities
+   drop out of D(T1,T2) entirely.
+
+   Run with: dune exec examples/read_mostly.exe *)
+
+open Distlock_txn
+open Distlock_rw
+
+let db () =
+  let db = Database.create () in
+  Database.add_all db [ ("catalog", 1); ("orders", 2) ];
+  db
+
+(* Both transactions read the catalog (site 1) and update the order book
+   (site 2), with the two sections unordered — the Fig 1 shape. *)
+let reporter db ~catalog_mode name =
+  let steps =
+    [|
+      { Rw_txn.action = Rw_txn.Lock catalog_mode; entity = Database.id_exn db "catalog" };
+      { Rw_txn.action = Rw_txn.Unlock; entity = Database.id_exn db "catalog" };
+      { Rw_txn.action = Rw_txn.Lock Rw_txn.Exclusive; entity = Database.id_exn db "orders" };
+      { Rw_txn.action = Rw_txn.Unlock; entity = Database.id_exn db "orders" };
+    |]
+  in
+  let labels =
+    [|
+      (match catalog_mode with Rw_txn.Shared -> "SLcat" | Rw_txn.Exclusive -> "XLcat");
+      "Ucat"; "XLord"; "Uord";
+    |]
+  in
+  Rw_txn.make ~name ~labels ~steps
+    (Option.get (Distlock_order.Poset.of_arcs 4 [ (0, 1); (2, 3) ]))
+
+let report label sys =
+  Printf.printf "\n--- %s ---\n" label;
+  assert (Rw_system.validate sys = []);
+  let db = Rw_system.db sys in
+  let conflicting = Rw_system.conflicting_common sys in
+  Printf.printf "conflicting entities: {%s}\n"
+    (String.concat ", " (List.map (Database.name db) conflicting));
+  let verdict = Rw_safety.twosite_decide sys in
+  Printf.printf "two-site test: %s\n" (if verdict then "SAFE" else "UNSAFE");
+  Printf.printf "exhaustive oracle: %s\n"
+    (if Rw_system.safe sys then "SAFE" else "UNSAFE")
+
+let () =
+  let d1 = db () in
+  report "catalog locked EXCLUSIVELY by both (over-locking reads)"
+    (Rw_system.make d1
+       [
+         reporter d1 ~catalog_mode:Rw_txn.Exclusive "T1";
+         reporter d1 ~catalog_mode:Rw_txn.Exclusive "T2";
+       ]);
+  let d2 = db () in
+  report "catalog locked SHARED by both (reads declared as reads)"
+    (Rw_system.make d2
+       [
+         reporter d2 ~catalog_mode:Rw_txn.Shared "T1";
+         reporter d2 ~catalog_mode:Rw_txn.Shared "T2";
+       ]);
+  Printf.printf
+    "\nWith exclusive catalog locks the two entities form a disconnected\n\
+     D(T1,T2) — unsafe (the Fig 1 pattern). Declaring the catalog reads\n\
+     shared removes that entity from D entirely: one conflicting entity\n\
+     remains, and a single rectangle cannot be separated from anything.\n"

@@ -1,0 +1,35 @@
+open Distlock_txn
+
+(** "What will it cost to make this safe?" — comparing repair strategies
+    for an unsafe two-transaction system.
+
+    Three mechanical routes to safety are quantified by how much
+    intra-transaction concurrency each sacrifices (the count of step pairs
+    that were concurrent and become ordered):
+
+    - {e insertion}: add precedences until [D(T1,T2)] is strongly
+      connected ({!Repair}) — usually the cheapest, but not always
+      possible;
+    - {e two-phase}: delay every unlock past every lock in both
+      transactions ({!Policy.make_two_phase}) — possible iff no unlock
+      already precedes a lock;
+    - {e serialize}: the blunt instrument — chain each transaction into a
+      total order, removing all intra-transaction concurrency (offered
+      only when the resulting pair happens to be safe).
+
+    Each returned option has been re-verified safe. *)
+
+type strategy = Insertion | Two_phase | Serialize
+
+type option_report = {
+  strategy : strategy;
+  system : System.t;  (** The repaired system. *)
+  concurrency_loss : int;
+}
+
+val advise : System.t -> option_report list
+(** Applicable strategies, cheapest first. Empty when the system is
+    already safe (check first!). Raises [Invalid_argument] on systems
+    without exactly two transactions. *)
+
+val strategy_name : strategy -> string

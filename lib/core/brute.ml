@@ -1,0 +1,47 @@
+open Distlock_txn
+open Distlock_sched
+open Distlock_geometry
+
+type verdict = Safe | Unsafe of Schedule.t
+
+let safe_by_schedules ?(limit = 20_000_000) sys =
+  let examined = ref 0 in
+  match
+    Enumerate.find_legal sys (fun h ->
+        incr examined;
+        if !examined > limit then failwith "Brute.safe_by_schedules: limit exceeded";
+        not (Conflict.is_serializable sys h))
+  with
+  | Some h -> Unsafe h
+  | None -> Safe
+
+exception Found of Schedule.t
+
+let safe_by_extensions ?(limit = max_int) sys =
+  let t1, t2 = System.pair sys in
+  let examined = ref 0 in
+  try
+    Distlock_order.Linext.iter (Txn.order t1) (fun ext1 ->
+        let ext1 = Array.copy ext1 in
+        Distlock_order.Linext.iter (Txn.order t2) (fun ext2 ->
+            incr examined;
+            if !examined > limit then
+              failwith "Brute.safe_by_extensions: limit exceeded";
+            let plane = Plane.of_extensions sys ext1 (Array.copy ext2) in
+            match Separation.decide plane with
+            | Separation.Safe -> ()
+            | Separation.Unsafe { schedule; _ } -> raise (Found schedule)));
+    Safe
+  with Found h -> Unsafe h
+
+let is_safe sys = safe_by_schedules sys = Safe
+
+let probe_random rng ~trials sys =
+  let rec go k =
+    if k = 0 then None
+    else
+      match Enumerate.random_legal rng sys with
+      | None -> go (k - 1)
+      | Some h -> if Conflict.is_serializable sys h then go (k - 1) else Some h
+  in
+  go trials

@@ -1,0 +1,36 @@
+open Distlock_txn
+open Distlock_sched
+
+(** Brute-force safety oracles.
+
+    Two independent exponential deciders used to validate the polynomial
+    tests and each other:
+
+    - {!safe_by_schedules} enumerates every legal schedule of the system
+      and conflict-checks each (works for any number of transactions);
+    - {!safe_by_extensions} applies Lemma 1 directly: enumerate all pairs
+      of linear extensions and run the geometric Proposition 1 test on
+      each picture (two transactions only). *)
+
+type verdict =
+  | Safe
+  | Unsafe of Schedule.t  (** A legal non-serializable schedule. *)
+
+val safe_by_schedules : ?limit:int -> System.t -> verdict
+(** Raises [Failure] after examining [limit] (default [20_000_000])
+    schedules without exhausting the space. *)
+
+val safe_by_extensions : ?limit:int -> System.t -> verdict
+(** Two-transaction systems. The returned schedule is the separating path
+    of the first unsafe picture found. Raises [Failure] after examining
+    [limit] extension pairs (default unlimited). *)
+
+val is_safe : System.t -> bool
+(** [safe_by_schedules] with defaults. *)
+
+val probe_random :
+  Random.State.t -> trials:int -> System.t -> Schedule.t option
+(** Randomized refutation: sample random legal schedules and return the
+    first non-serializable one. [None] after [trials] clean samples — not
+    a proof of safety, but a cheap falsifier for systems too large to
+    enumerate (used on the big Theorem 3 gadgets). *)

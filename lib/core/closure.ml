@@ -1,0 +1,112 @@
+open Distlock_txn
+open Distlock_graph
+
+type failure = Would_cycle of { txn : int } | Dominator_lost
+
+type outcome = Closed of System.t | Failed of failure
+
+(* Step indices of the lock/unlock of each common entity in each
+   transaction; recomputed lazily as the transactions never change their
+   steps, only their orders. *)
+type ctx = {
+  common : Database.entity array;
+  in_x : bool array; (* per common index *)
+  l1 : int array;
+  u1 : int array;
+  l2 : int array;
+  u2 : int array;
+}
+
+let make_ctx sys ~dominator =
+  let t1, t2 = System.pair sys in
+  let common = Array.of_list (System.common_locked sys 0 1) in
+  let in_x = Array.map (fun e -> List.mem e dominator) common in
+  {
+    common;
+    in_x;
+    l1 = Array.map (fun e -> Option.get (Txn.lock_of t1 e)) common;
+    u1 = Array.map (fun e -> Option.get (Txn.unlock_of t1 e)) common;
+    l2 = Array.map (fun e -> Option.get (Txn.lock_of t2 e)) common;
+    u2 = Array.map (fun e -> Option.get (Txn.unlock_of t2 e)) common;
+  }
+
+(* Find one Definition 3 violation: (z, x, y) satisfying the hypotheses
+   whose conclusions do not (both) hold yet. *)
+let find_violation ctx t1 t2 =
+  let k = Array.length ctx.common in
+  let found = ref None in
+  (try
+     for z = 0 to k - 1 do
+       if not ctx.in_x.(z) then
+         for x = 0 to k - 1 do
+           if ctx.in_x.(x) && Txn.precedes t1 ctx.l1.(z) ctx.u1.(x) then
+             for y = 0 to k - 1 do
+               if
+                 ctx.in_x.(y) && y <> x
+                 && Txn.precedes t2 ctx.l2.(y) ctx.u2.(z)
+                 && not
+                      (Txn.precedes t1 ctx.u1.(y) ctx.u1.(x)
+                      && Txn.precedes t2 ctx.l2.(y) ctx.l2.(x))
+               then begin
+                 found := Some (z, x, y);
+                 raise Exit
+               end
+             done
+         done
+     done
+   with Exit -> ());
+  !found
+
+let dominator_ok sys ~dominator =
+  let d = Dgraph.build_pair sys in
+  let g = Dgraph.graph d in
+  let entities = Dgraph.entities d in
+  let in_x = Array.map (fun e -> List.mem e dominator) entities in
+  let ok = ref true in
+  Digraph.iter_arcs g (fun u v -> if in_x.(v) && not in_x.(u) then ok := false);
+  let members = Array.to_list in_x |> List.filter Fun.id |> List.length in
+  !ok && members > 0 && members < Array.length entities
+
+let is_closed sys ~dominator =
+  let t1, t2 = System.pair sys in
+  let ctx = make_ctx sys ~dominator in
+  find_violation ctx t1 t2 = None
+
+let close sys ~dominator =
+  if not (dominator_ok sys ~dominator) then
+    invalid_arg "Closure.close: not a dominator of D(T1,T2)";
+  let ctx = make_ctx sys ~dominator in
+  let rec loop t1 t2 =
+    match find_violation ctx t1 t2 with
+    | None ->
+        let sys' = System.make (System.db sys) [ t1; t2 ] in
+        if dominator_ok sys' ~dominator then Closed sys' else Failed Dominator_lost
+    | Some (_z, x, y) -> (
+        (* Add Uy -> Ux in T1 and Ly -> Lx in T2 (Lemma 2's inference). *)
+        match Txn.add_precedences t1 [ (ctx.u1.(y), ctx.u1.(x)) ] with
+        | None -> Failed (Would_cycle { txn = 0 })
+        | Some t1' -> (
+            match Txn.add_precedences t2 [ (ctx.l2.(y), ctx.l2.(x)) ] with
+            | None -> Failed (Would_cycle { txn = 1 })
+            | Some t2' -> loop t1' t2'))
+  in
+  let t1, t2 = System.pair sys in
+  loop t1 t2
+
+let dominator_sets sys =
+  let d = Dgraph.build_pair sys in
+  Dgraph.dominators d
+
+let first_unsafe_dominator ?(limit = 100_000) sys =
+  let d = Dgraph.build_pair sys in
+  let doms =
+    try Dgraph.dominators ~limit d
+    with Failure _ -> failwith "Closure.first_unsafe_dominator: too many dominators"
+  in
+  List.find_map
+    (fun x ->
+      let entities = Dgraph.entity_set d x in
+      match close sys ~dominator:entities with
+      | Closed closed -> Some (entities, closed)
+      | Failed _ -> None)
+    doms

@@ -1,0 +1,67 @@
+open Distlock_txn
+open Distlock_graph
+
+type t = {
+  graph : Digraph.t;
+  entities : Database.entity array;
+  index : (Database.entity, int) Hashtbl.t;
+}
+
+let build sys i j =
+  let ti = System.txn sys i and tj = System.txn sys j in
+  let common = Array.of_list (System.common_locked sys i j) in
+  let k = Array.length common in
+  let index = Hashtbl.create k in
+  Array.iteri (fun v e -> Hashtbl.replace index e v) common;
+  let g = Digraph.create k in
+  let lock_i = Array.map (fun e -> Option.get (Txn.lock_of ti e)) common in
+  let unlock_i = Array.map (fun e -> Option.get (Txn.unlock_of ti e)) common in
+  let lock_j = Array.map (fun e -> Option.get (Txn.lock_of tj e)) common in
+  let unlock_j = Array.map (fun e -> Option.get (Txn.unlock_of tj e)) common in
+  for a = 0 to k - 1 do
+    for b = 0 to k - 1 do
+      if a <> b then
+        (* (a,b): Lx_a precedes Uy_b in Ti, and Ly_b precedes Ux_a in Tj. *)
+        if
+          Txn.precedes ti lock_i.(a) unlock_i.(b)
+          && Txn.precedes tj lock_j.(b) unlock_j.(a)
+        then Digraph.add_arc g a b
+    done
+  done;
+  { graph = g; entities = common; index }
+
+let build_pair sys =
+  if System.num_txns sys <> 2 then
+    invalid_arg "Dgraph.build_pair: not a two-transaction system";
+  build sys 0 1
+
+let graph t = t.graph
+
+let entities t = Array.copy t.entities
+
+let vertex_of t e = Hashtbl.find_opt t.index e
+
+let num_vertices t = Array.length t.entities
+
+let mem_arc t x y =
+  match (vertex_of t x, vertex_of t y) with
+  | Some a, Some b -> Digraph.mem_arc t.graph a b
+  | _ -> false
+
+let is_strongly_connected t = Scc.is_strongly_connected t.graph
+
+let dominators ?limit t = Dominator.enumerate ?limit t.graph
+
+let entity_set t s = List.map (fun v -> t.entities.(v)) (Bitset.elements s)
+
+let pp db ppf t =
+  Format.fprintf ppf "@[<v>D-graph on {%s}:@,"
+    (String.concat ", "
+       (Array.to_list (Array.map (Database.name db) t.entities)));
+  List.iter
+    (fun (a, b) ->
+      Format.fprintf ppf "  %s -> %s@,"
+        (Database.name db t.entities.(a))
+        (Database.name db t.entities.(b)))
+    (Digraph.arcs t.graph);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,39 @@
+open Distlock_txn
+open Distlock_graph
+
+(** The digraph [D(T1,T2)] of Definition 1.
+
+    Vertices are the entities locked-unlocked by *both* transactions; there
+    is an arc [(x,y)] iff [Lx] precedes [Uy] in [T1] and [Ly] precedes [Ux]
+    in [T2] (precedence in the partial orders). Equivalently: in every
+    geometric picture of the pair, the path's side for [x] forces its side
+    for [y] ([b_x <= b_y] in Theorem 1's proof). *)
+
+type t
+
+val build : System.t -> int -> int -> t
+(** [build sys i j] is [D(Ti, Tj)] (transaction indices). *)
+
+val build_pair : System.t -> t
+(** [D(T1,T2)] of a two-transaction system. *)
+
+val graph : t -> Digraph.t
+
+val entities : t -> Database.entity array
+(** Vertex index to entity id. *)
+
+val vertex_of : t -> Database.entity -> int option
+
+val num_vertices : t -> int
+
+val mem_arc : t -> Database.entity -> Database.entity -> bool
+
+val is_strongly_connected : t -> bool
+
+val dominators : ?limit:int -> t -> Bitset.t list
+(** All dominators of the digraph (Definition 2), as vertex sets. *)
+
+val entity_set : t -> Bitset.t -> Database.entity list
+(** Decode a vertex set into entity ids. *)
+
+val pp : Database.t -> Format.formatter -> t -> unit

@@ -1,0 +1,142 @@
+open Distlock_txn
+
+let fig1 () =
+  let db = Database.create () in
+  Database.add_all db [ ("x", 1); ("y", 1); ("w", 2); ("z", 2) ];
+  (* T1 reads sites in the "natural" order, T2 in the opposite order at
+     site 1 and with z surrounding w at site 2; the two site-chains of each
+     transaction are unrelated, so the lock sections of different sites can
+     interleave freely — the distributed pitfall of Fig 1. *)
+  let t1 =
+    Builder.make_exn db ~name:"T1"
+      ~steps:
+        [
+          ("Lx", `Lock "x"); ("ux", `Update "x"); ("Ly", `Lock "y");
+          ("uy", `Update "y"); ("Ux", `Unlock "x"); ("Uy", `Unlock "y");
+          ("Lw", `Lock "w"); ("uw", `Update "w"); ("Uw", `Unlock "w");
+          ("Lz", `Lock "z"); ("uz", `Update "z"); ("Uz", `Unlock "z");
+        ]
+      ~chains:
+        [
+          [ "Lx"; "ux"; "Ly"; "uy"; "Ux"; "Uy" ];
+          [ "Lw"; "uw"; "Uw"; "Lz"; "uz"; "Uz" ];
+        ]
+      ()
+  in
+  let t2 =
+    Builder.make_exn db ~name:"T2"
+      ~steps:
+        [
+          ("Ly", `Lock "y"); ("uy", `Update "y"); ("Uy", `Unlock "y");
+          ("Lx", `Lock "x"); ("ux", `Update "x"); ("Ux", `Unlock "x");
+          ("Lz", `Lock "z"); ("uz", `Update "z"); ("Lw", `Lock "w");
+          ("uw", `Update "w"); ("Uw", `Unlock "w"); ("Uz", `Unlock "z");
+        ]
+      ~chains:
+        [
+          [ "Ly"; "uy"; "Uy"; "Lx"; "ux"; "Ux" ];
+          [ "Lz"; "uz"; "Lw"; "uw"; "Uw"; "Uz" ];
+        ]
+      ()
+  in
+  System.make db [ t1; t2 ]
+
+let fig2 () =
+  let db = Database.create () in
+  Database.add_all db [ ("x", 1); ("y", 1); ("z", 1) ];
+  (* t1 is the axis of Fig 2 verbatim: Lx Ly x y Ux Uy Lz z Uz. *)
+  let t1 =
+    Builder.total db ~name:"t1"
+      [
+        `Lock "x"; `Lock "y"; `Update "x"; `Update "y"; `Unlock "x";
+        `Unlock "y"; `Lock "z"; `Update "z"; `Unlock "z";
+      ]
+  in
+  let t2 =
+    Builder.total db ~name:"t2"
+      [
+        `Lock "z"; `Update "z"; `Unlock "z"; `Lock "y"; `Update "y";
+        `Unlock "y"; `Lock "x"; `Update "x"; `Unlock "x";
+      ]
+  in
+  System.make db [ t1; t2 ]
+
+let fig3 () =
+  let db = Database.create () in
+  Database.add_all db [ ("x", 1); ("y", 1); ("z", 2) ];
+  (* Site-1 steps are chained (per-site totality); the z-steps at site 2
+     are concurrent to everything else. D(T1,T2) = x <-> y with z
+     isolated: not strongly connected, so the system is unsafe (Theorem 2)
+     — yet some of its pictures are safe (Lemma 1, tested). *)
+  let t1 =
+    Builder.make_exn db ~name:"T1"
+      ~steps:
+        [
+          ("Ly", `Lock "y"); ("Lx", `Lock "x"); ("Uy", `Unlock "y");
+          ("Ux", `Unlock "x"); ("Lz", `Lock "z"); ("Uz", `Unlock "z");
+        ]
+      ~chains:[ [ "Ly"; "Lx"; "Uy"; "Ux" ]; [ "Lz"; "Uz" ] ]
+      ()
+  in
+  let t2 =
+    Builder.make_exn db ~name:"T2"
+      ~steps:
+        [
+          ("Lx", `Lock "x"); ("Ly", `Lock "y"); ("Ux", `Unlock "x");
+          ("Uy", `Unlock "y"); ("Lz", `Lock "z"); ("Uz", `Unlock "z");
+        ]
+      ~chains:[ [ "Lx"; "Ly"; "Ux"; "Uy" ]; [ "Lz"; "Uz" ] ]
+      ()
+  in
+  System.make db [ t1; t2 ]
+
+let fig5 () =
+  let db = Database.create () in
+  Database.add_all db [ ("x1", 1); ("x2", 2); ("y1", 3); ("y2", 4) ];
+  (* Each entity on its own site, so the only intra-transaction
+     precedences needed are the explicit arcs below (all lock -> unlock,
+     hence no transitive surprises). The skeleton realizes
+     D = { x1 <-> x2, y1 <-> y2, x1 -> y1, x2 -> y2 }, whose only
+     dominator is {x1, x2}; the extra arcs (Ly1 < Ux1, Ly2 < Ux2 in T1 and
+     Lx2 < Uy1, Lx1 < Uy2 in T2) make the closure of that dominator demand
+     both Ux2 < Ux1 and Ux1 < Ux2 — a contradiction, so no certificate of
+     unsafety exists and the system is in fact safe. *)
+  let steps =
+    [
+      ("Lx1", `Lock "x1"); ("Ux1", `Unlock "x1");
+      ("Lx2", `Lock "x2"); ("Ux2", `Unlock "x2");
+      ("Ly1", `Lock "y1"); ("Uy1", `Unlock "y1");
+      ("Ly2", `Lock "y2"); ("Uy2", `Unlock "y2");
+    ]
+  in
+  let pair_arcs = [ ("Lx1", "Ux1"); ("Lx2", "Ux2"); ("Ly1", "Uy1"); ("Ly2", "Uy2") ] in
+  let t1 =
+    Builder.make_exn db ~name:"T1" ~steps
+      ~arcs:
+        (pair_arcs
+        @ [
+            (* D skeleton, first conditions of Definition 1 *)
+            ("Lx1", "Ux2"); ("Lx2", "Ux1"); ("Ly1", "Uy2"); ("Ly2", "Uy1");
+            ("Lx1", "Uy1"); ("Lx2", "Uy2");
+            (* closure triggers *)
+            ("Ly1", "Ux1"); ("Ly2", "Ux2");
+          ])
+      ()
+  in
+  let t2 =
+    Builder.make_exn db ~name:"T2" ~steps
+      ~arcs:
+        (pair_arcs
+        @ [
+            (* D skeleton, second conditions of Definition 1 *)
+            ("Lx2", "Ux1"); ("Lx1", "Ux2"); ("Ly2", "Uy1"); ("Ly1", "Uy2");
+            ("Ly1", "Ux1"); ("Ly2", "Ux2");
+            (* closure triggers *)
+            ("Lx2", "Uy1"); ("Lx1", "Uy2");
+          ])
+      ()
+  in
+  System.make db [ t1; t2 ]
+
+let all () =
+  [ ("fig1", fig1 ()); ("fig2", fig2 ()); ("fig3", fig3 ()); ("fig5", fig5 ()) ]

@@ -1,0 +1,30 @@
+open Distlock_txn
+
+(** The paper's worked examples, reconstructed as executable systems.
+
+    The JCSS scan's figures are hand-drawn dags; we rebuild each from the
+    surrounding prose and verify the properties the paper claims for it in
+    the test suite (and in [examples/figure_gallery.ml]):
+
+    - {!fig1}: a two-site, four-entity unsafe system with a
+      non-serializable schedule (Fig 1).
+    - {!fig2}: two totally ordered (centralized) transactions whose
+      picture admits a path separating the [x]- and [z]-rectangles
+      (Fig 2 / Proposition 1).
+    - {!fig3}: a two-site system of genuinely partial orders that is
+      unsafe even though one of its pictures is safe (Fig 3 / Lemma 1);
+      [D(T1,T2)] has the two-element dominator [{x,y}].
+    - {!fig5}: the four-site counterexample: [D(T1,T2)] is not strongly
+      connected — its only dominator is [{x1,x2}] — yet the system is
+      safe, because closing with respect to that dominator forces [Ux1]
+      to both precede and follow [Ux2] (Fig 5). *)
+
+val fig1 : unit -> System.t
+
+val fig2 : unit -> System.t
+
+val fig3 : unit -> System.t
+
+val fig5 : unit -> System.t
+
+val all : unit -> (string * System.t) list

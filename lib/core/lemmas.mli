@@ -1,0 +1,36 @@
+open Distlock_txn
+
+(** The paper's intermediate results as executable, checkable statements.
+
+    Each function decides one lemma's claim on a concrete system, so the
+    test suite can validate the paper lemma-by-lemma on thousands of
+    random instances rather than only end-to-end. All checks are
+    exponential where the statement quantifies over extensions or
+    schedules; they are meant for small systems. *)
+
+val lemma1 : ?limit:int -> System.t -> bool
+(** Lemma 1: [{T1,T2}] is safe iff every pair of compatible total orders
+    is safe. Checks that the two sides of the iff agree on the given
+    system (left side by legal-schedule enumeration, right side by
+    extension-pair enumeration); [limit] caps both enumerations. *)
+
+val lemma2 : System.t -> dominator:Database.entity list -> bool
+(** Lemma 2: on any system, for every triple [z ∈ V-X], [x, y ∈ X] with
+    [Lz <1 Ux] and [Ly <2 Uz], the conclusions hold: [x ≠ y], not
+    [Uy <1' Ux] contradicted — precisely, [Ux <1 Uy] fails and
+    [Lx <2 Ly] fails (so the closure's additions are consistent). True
+    vacuously when no triple matches. The paper proves this for
+    dominators of [D(T1,T2)]; raises [Invalid_argument] if [dominator]
+    is not one. *)
+
+val lemma3 : System.t -> dominator:Database.entity list -> bool
+(** Lemma 3 (two sites): after adding one closure step's precedences, the
+    dominator still dominates the new [D(T1',T2')]. Checks every matching
+    triple's single-step extension; [true] vacuously if none. Raises
+    [Invalid_argument] on non-dominators or systems using more than two
+    sites. *)
+
+val corollary2 : System.t -> dominator:Database.entity list -> bool
+(** Corollary 2: if the system is closed w.r.t. the dominator, then it is
+    unsafe — verified constructively (certificate build + check). [true]
+    also when the system is simply not closed (the hypothesis fails). *)

@@ -1,0 +1,164 @@
+open Distlock_txn
+open Distlock_graph
+
+type unsafe_reason = Unsafe_pair of int * int | Acyclic_bc of int list
+
+type verdict = Safe | Unsafe of unsafe_reason
+
+let conflict_graph sys =
+  let r = System.num_txns sys in
+  let g = Digraph.create r in
+  for i = 0 to r - 1 do
+    for j = i + 1 to r - 1 do
+      if System.common_locked sys i j <> [] then begin
+        Digraph.add_arc g i j;
+        Digraph.add_arc g j i
+      end
+    done
+  done;
+  g
+
+(* Node table shared by B_ijk construction: key (lo, hi, entity). *)
+module Nodes = struct
+  type t = {
+    index : (int * int * Database.entity, int) Hashtbl.t;
+    mutable names : (int * int * Database.entity) list; (* reversed *)
+    mutable count : int;
+  }
+
+  let create () = { index = Hashtbl.create 32; names = []; count = 0 }
+
+  let get t key =
+    match Hashtbl.find_opt t.index key with
+    | Some v -> v
+    | None ->
+        let v = t.count in
+        Hashtbl.add t.index key v;
+        t.names <- key :: t.names;
+        t.count <- t.count + 1;
+        v
+
+  let names t = Array.of_list (List.rev t.names)
+end
+
+let pair_key i j = if i < j then (i, j) else (j, i)
+
+(* Add B_ijk arcs into [g] using the node table. *)
+let add_b_arcs sys nodes add_arc ~i ~j ~k =
+  let tj = System.txn sys j in
+  let lo1, hi1 = pair_key i j and lo2, hi2 = pair_key j k in
+  let xs = System.common_locked sys i j in
+  let ys = System.common_locked sys j k in
+  let lock e = Option.get (Txn.lock_of tj e) in
+  let unlock e = Option.get (Txn.unlock_of tj e) in
+  (* (x@ij, y@jk) iff Lx precedes Uy in Tj *)
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          if Txn.precedes tj (lock x) (unlock y) then
+            add_arc
+              (Nodes.get nodes (lo1, hi1, x))
+              (Nodes.get nodes (lo2, hi2, y)))
+        ys)
+    xs;
+  (* (x@ij, x'@ij) iff Lx precedes Lx' in Tj *)
+  List.iter
+    (fun x ->
+      List.iter
+        (fun x' ->
+          if x <> x' && Txn.precedes tj (lock x) (lock x') then
+            add_arc
+              (Nodes.get nodes (lo1, hi1, x))
+              (Nodes.get nodes (lo1, hi1, x')))
+        xs)
+    xs;
+  (* (y@jk, y'@jk) iff Uy precedes Uy' in Tj *)
+  List.iter
+    (fun y ->
+      List.iter
+        (fun y' ->
+          if y <> y' && Txn.precedes tj (unlock y) (unlock y') then
+            add_arc
+              (Nodes.get nodes (lo2, hi2, y))
+              (Nodes.get nodes (lo2, hi2, y')))
+        ys)
+    ys
+
+(* Two-pass construction: collect arcs with a growing node table, then
+   build the digraph once the node count is known. *)
+let build_b sys triples =
+  let nodes = Nodes.create () in
+  let arcs = ref [] in
+  let add_arc u v = arcs := (u, v) :: !arcs in
+  List.iter (fun (i, j, k) -> add_b_arcs sys nodes add_arc ~i ~j ~k) triples;
+  let g = Digraph.create nodes.Nodes.count in
+  List.iter (fun (u, v) -> Digraph.add_arc g u v) !arcs;
+  (g, Nodes.names nodes)
+
+let b_graph sys ~i ~j ~k = build_b sys [ (i, j, k) ]
+
+let b_cycle_graph sys cycle =
+  let arr = Array.of_list cycle in
+  let n = Array.length arr in
+  let triples =
+    List.init n (fun p -> (arr.(p), arr.((p + 1) mod n), arr.((p + 2) mod n)))
+  in
+  fst (build_b sys triples)
+
+let simple_cycles g =
+  let n = Digraph.n g in
+  let cycles = ref [] in
+  (* DFS from each root, only visiting vertices >= root, so each cycle is
+     found exactly once per orientation with its smallest vertex first. *)
+  let rec extend root path on_path v =
+    Digraph.iter_succ g v (fun w ->
+        if w = root && List.length path >= 3 then
+          cycles := List.rev path :: !cycles
+        else if w > root && not (List.mem w on_path) then
+          extend root (w :: path) (w :: on_path) w)
+  in
+  for root = 0 to n - 1 do
+    extend root [ root ] [ root ] root
+  done;
+  !cycles
+
+let decide ?pair_decider sys =
+  let pair_safe =
+    match pair_decider with
+    | Some f -> f
+    | None -> fun pair_sys -> Safety.is_safe_exn pair_sys
+  in
+  let r = System.num_txns sys in
+  (* (a) all two-transaction subsystems safe *)
+  let bad_pair = ref None in
+  (try
+     for i = 0 to r - 1 do
+       for j = i + 1 to r - 1 do
+         if System.common_locked sys i j <> [] then begin
+           let sub =
+             System.make (System.db sys) [ System.txn sys i; System.txn sys j ]
+           in
+           if not (pair_safe sub) then begin
+             bad_pair := Some (i, j);
+             raise Exit
+           end
+         end
+       done
+     done
+   with Exit -> ());
+  match !bad_pair with
+  | Some (i, j) -> Unsafe (Unsafe_pair (i, j))
+  | None -> (
+      (* (b) every directed conflict-graph cycle has a cyclic B_c *)
+      let g = conflict_graph sys in
+      let bad_cycle =
+        List.find_opt
+          (fun c ->
+            let bc = b_cycle_graph sys c in
+            Distlock_graph.Topo.is_acyclic bc)
+          (simple_cycles g)
+      in
+      match bad_cycle with
+      | Some c -> Unsafe (Acyclic_bc c)
+      | None -> Safe)

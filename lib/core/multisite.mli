@@ -1,0 +1,47 @@
+open Distlock_txn
+open Distlock_graph
+
+(** Proposition 2 (Section 6): safety of systems with more than two
+    transactions.
+
+    Let [G] be the (undirected) conflict graph on transactions — an edge
+    [Ti - Tj] whenever they lock a common entity. For every directed path
+    [(Ti, Tj, Tk)] of length two, [B_ijk] is the digraph with a node per
+    (pair, entity) — entities locked by both endpoints of the pair — and
+    arcs, all read off [Tj]'s partial order:
+
+    - [(x@ij, y@jk)] iff [Lx] precedes [Uy] in [Tj];
+    - [(x@ij, x'@ij)] iff [Lx] precedes [Lx'] in [Tj];
+    - [(y@jk, y'@jk)] iff [Uy] precedes [Uy'] in [Tj].
+
+    [T] is safe iff (a) every two-transaction subsystem is safe and (b)
+    for each directed cycle [c] of [G], the union [B_c] of the [B_ijk] of
+    its consecutive subpaths has a cycle. Testing (b) over all simple
+    cycles is exponential — the problem is coNP-complete already in the
+    centralized case [7] — so this module enumerates simple cycles
+    explicitly and is meant for small transaction counts. *)
+
+type unsafe_reason =
+  | Unsafe_pair of int * int
+  | Acyclic_bc of int list
+      (** A directed conflict-graph cycle whose [B_c] is acyclic. *)
+
+type verdict = Safe | Unsafe of unsafe_reason
+
+val conflict_graph : System.t -> Digraph.t
+(** Symmetric digraph (both arcs per undirected edge). *)
+
+val b_graph : System.t -> i:int -> j:int -> k:int -> Digraph.t * (int * int * Database.entity) array
+(** [B_ijk]; the array maps vertices to [(pair_lo, pair_hi, entity)]. *)
+
+val b_cycle_graph : System.t -> int list -> Digraph.t
+(** [B_c] for a directed cycle given as a transaction-index list. *)
+
+val simple_cycles : Digraph.t -> int list list
+(** All directed simple cycles of length >= 3, each rotation-normalized
+    (smallest vertex first), both orientations included. *)
+
+val decide :
+  ?pair_decider:(System.t -> bool) -> System.t -> verdict
+(** [pair_decider] decides safety of each two-transaction subsystem
+    (default: {!Safety.is_safe_exn}). *)

@@ -1,0 +1,39 @@
+open Distlock_txn
+
+(** Locking policies (Section 6).
+
+    The paper notes that the characterization of correct (safe) locking
+    policies carries over to the distributed case by reading "previous
+    step" as "preceding step in the partial order". This module implements
+    the workhorse policy — two-phase locking — in that spirit, in two
+    strengths:
+
+    - {e strong} 2PL: every lock step precedes every unlock step in the
+      partial order, so *every* linear extension is two-phase. Strongly
+      2PL systems are always safe: all of [D]'s arcs are present, so
+      Theorem 1 applies directly (this is the paper's remark that its
+      tools "prove correct all existing distributed locking
+      methodologies").
+    - {e weak} 2PL: no unlock precedes a lock. For totally ordered
+      transactions this is ordinary 2PL, but for genuinely partial orders
+      it admits non-two-phase linear extensions and does *not* guarantee
+      safety — a distributed pitfall this library's tests exhibit. *)
+
+val is_two_phase_strong : Txn.t -> bool
+
+val is_two_phase_weak : Txn.t -> bool
+
+val all_two_phase_strong : System.t -> bool
+
+val all_two_phase_weak : System.t -> bool
+
+val strong_2pl_is_dgraph_complete : System.t -> bool
+(** For a two-transaction strongly-2PL system: checks that [D(T1,T2)] is
+    the complete digraph on the common entities (the Theorem 1 argument).
+    Exposed for tests and the E8 experiment. *)
+
+val make_two_phase : Txn.t -> Txn.t option
+(** Repairs a transaction into strong 2PL by adding the precedences
+    [every lock < every unlock]; [None] if that contradicts the existing
+    order (some unlock already precedes some lock — the transaction is
+    not weakly two-phase). *)

@@ -1,0 +1,96 @@
+open Distlock_txn
+
+type insertion = { txn : int; before : int; after : int }
+
+let relation_size txn =
+  List.length (Distlock_order.Poset.relation (Txn.order txn))
+
+let concurrency_loss ~before ~after =
+  let per i =
+    relation_size (System.txn after i) - relation_size (System.txn before i)
+  in
+  per 0 + per 1
+
+(* Try to realize the D-arc (z, x): Lz < Ux in T1 and Lx < Uz in T2.
+   Returns the extended system and the insertions actually needed. *)
+let try_connect sys z x =
+  let t1, t2 = System.pair sys in
+  let need txn a b = if Txn.precedes txn a b then [] else [ (a, b) ] in
+  let l1 e = Option.get (Txn.lock_of t1 e) and u1 e = Option.get (Txn.unlock_of t1 e) in
+  let l2 e = Option.get (Txn.lock_of t2 e) and u2 e = Option.get (Txn.unlock_of t2 e) in
+  let add1 = need t1 (l1 z) (u1 x) and add2 = need t2 (l2 x) (u2 z) in
+  match (Txn.add_precedences t1 add1, Txn.add_precedences t2 add2) with
+  | Some t1', Some t2' ->
+      let insertions =
+        List.map (fun (a, b) -> { txn = 0; before = a; after = b }) add1
+        @ List.map (fun (a, b) -> { txn = 1; before = a; after = b }) add2
+      in
+      Some (System.make (System.db sys) [ t1'; t2' ], insertions)
+  | _ -> None
+
+let make_safe sys =
+  if System.num_txns sys <> 2 then
+    invalid_arg "Repair.make_safe: not a two-transaction system";
+  (* Greedy with limited backtracking: at each level try the cheapest few
+     consistent insertions; a global budget bounds the search. *)
+  let budget = ref (64 * max 1 (Database.num_entities (System.db sys))) in
+  let rec loop sys acc rounds =
+    decr budget;
+    if rounds = 0 || !budget <= 0 then None
+    else begin
+      let d = Dgraph.build_pair sys in
+      if Dgraph.num_vertices d < 2 || Dgraph.is_strongly_connected d then
+        Some (sys, List.rev acc)
+      else begin
+        (* Precedence relations only grow under insertion, and the arc set
+           of D is monotone in them, so any consistent new cross-component
+           D-arc is progress toward strong connectivity. Prefer arcs that
+           close a condensation cycle (they merge whole component paths),
+           then cheapest concurrency loss. *)
+        let g = Dgraph.graph d in
+        let scc = Distlock_graph.Scc.compute g in
+        let cond = Distlock_graph.Scc.condensation g scc in
+        let creach = Distlock_graph.Reach.closure cond in
+        let entities = Dgraph.entities d in
+        let candidates = ref [] in
+        Array.iteri
+          (fun ai a ->
+            Array.iteri
+              (fun bi b ->
+                let ca = scc.Distlock_graph.Scc.component.(ai)
+                and cb = scc.Distlock_graph.Scc.component.(bi) in
+                if ca <> cb then
+                  match try_connect sys a b with
+                  | Some (sys', ins) when ins <> [] ->
+                      let closes_cycle =
+                        Distlock_graph.Bitset.mem creach.(cb) ca
+                      in
+                      let cost =
+                        ((if closes_cycle then 0 else 1) * 1000)
+                        + concurrency_loss ~before:sys ~after:sys'
+                      in
+                      candidates := (cost, sys', ins) :: !candidates
+                  | _ -> ())
+              entities)
+          entities;
+        let sorted =
+          List.sort (fun (c1, _, _) (c2, _, _) -> compare (c1 : int) c2)
+            !candidates
+        in
+        let rec try_candidates = function
+          | [] -> None
+          | (_, sys', ins) :: rest -> (
+              match loop sys' (ins @ acc) (rounds - 1) with
+              | Some _ as r -> r
+              | None -> if !budget <= 0 then None else try_candidates rest)
+        in
+        try_candidates sorted
+      end
+    end
+  in
+  match loop sys [] (4 * max 1 (Database.num_entities (System.db sys))) with
+  | None -> None
+  | Some (sys', ins) ->
+      System.validate_exn sys';
+      assert (Theorem1.guarantees_safe sys');
+      Some (sys', ins)

@@ -1,0 +1,31 @@
+open Distlock_txn
+open Distlock_sched
+
+(** Top-level safety dispatcher for two-transaction systems.
+
+    Picks the strongest applicable result: Theorem 1 (sufficiency, any
+    sites), Theorem 2 (exact, two sites), Corollary 2 (dominator closure
+    sweep, any sites), and finally the exponential oracle — mirroring the
+    paper's structure, where polynomial certainty is available up to two
+    sites and the general problem is coNP-complete (Theorem 3). *)
+
+type unsafety_evidence =
+  | Certificate of Certificate.t
+      (** Dominator-closure construction (Theorem 2 / Corollary 2). *)
+  | Counterexample of Schedule.t  (** Found by exhaustive search. *)
+
+type verdict =
+  | Safe of string  (** Why: which theorem concluded safety. *)
+  | Unsafe of unsafety_evidence
+  | Unknown of string
+      (** More than two sites, no dominator closes, and the system exceeds
+          the exhaustive-search budget. *)
+
+val decide_pair : ?exhaustive_budget:int -> System.t -> verdict
+(** [exhaustive_budget] (default [2_000_000]) caps the number of schedules
+    the final fallback may enumerate. *)
+
+val is_safe_exn : System.t -> bool
+(** Like {!decide_pair} but raises [Failure] on [Unknown]. *)
+
+val schedule_of_evidence : unsafety_evidence -> Schedule.t

@@ -1,0 +1,20 @@
+open Distlock_txn
+
+(** Theorem 2: for transactions distributed over at most two sites,
+    [{T1,T2}] is safe iff [D(T1,T2)] is strongly connected — with a
+    certificate of unsafety in the negative case, and in O(n²) overall
+    (Corollary 1). *)
+
+type verdict = Safe | Unsafe of Certificate.t
+
+val decide : System.t -> verdict
+(** Raises [Invalid_argument] if the system does not have exactly two
+    transactions or uses more than two sites (Theorem 2's hypothesis; use
+    {!Safety.decide_pair} for the general dispatcher). *)
+
+val is_safe : System.t -> bool
+
+val decide_connectivity_only : System.t -> bool
+(** The bare O(n²) test of Corollary 1 — strong connectivity of
+    [D(T1,T2)] — without certificate construction. Used by the scaling
+    benchmarks. *)

@@ -1,0 +1,61 @@
+(* Point semantics: at (i,j), transaction t1 has executed its first i
+   steps, t2 its first j. t1 holds entity x iff x_lock <= i < x_unlock
+   (1-based step positions), and symmetrically for t2; a point is
+   forbidden when some common entity is held by both. *)
+
+let forbidden plane i j =
+  List.exists
+    (fun r ->
+      r.Rect.x_lock <= i && i < r.Rect.x_unlock && r.Rect.y_lock <= j
+      && j < r.Rect.y_unlock)
+    (Plane.rectangles plane)
+
+let reachability plane =
+  let n1 = Plane.width plane and n2 = Plane.height plane in
+  let reach = Array.make_matrix (n1 + 1) (n2 + 1) false in
+  reach.(0).(0) <- not (forbidden plane 0 0);
+  for i = 0 to n1 do
+    for j = 0 to n2 do
+      if (not reach.(i).(j)) && not (forbidden plane i j) then
+        reach.(i).(j) <-
+          (i > 0 && reach.(i - 1).(j)) || (j > 0 && reach.(i).(j - 1))
+    done
+  done;
+  reach
+
+let reachable_deadlocks plane =
+  let n1 = Plane.width plane and n2 = Plane.height plane in
+  let reach = reachability plane in
+  let out = ref [] in
+  for i = n1 - 1 downto 0 do
+    for j = n2 - 1 downto 0 do
+      if
+        reach.(i).(j)
+        && forbidden plane (i + 1) j
+        && forbidden plane i (j + 1)
+      then out := (i, j) :: !out
+    done
+  done;
+  !out
+
+let possible plane = reachable_deadlocks plane <> []
+
+let witness_prefix plane =
+  match reachable_deadlocks plane with
+  | [] -> None
+  | (di, dj) :: _ ->
+      (* walk back along reachable predecessors to (0,0), then emit *)
+      let reach = reachability plane in
+      let rec back i j acc =
+        if i = 0 && j = 0 then acc
+        else if i > 0 && reach.(i - 1).(j) then
+          back (i - 1) j ((0, (Plane.extension plane 0).(i - 1)) :: acc)
+        else begin
+          assert (j > 0 && reach.(i).(j - 1));
+          back i (j - 1) ((1, (Plane.extension plane 1).(j - 1)) :: acc)
+        end
+      in
+      Some (back di dj [])
+
+let deadlock_free_and_safe plane =
+  (not (possible plane)) && Separation.is_safe plane

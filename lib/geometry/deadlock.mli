@@ -1,0 +1,34 @@
+(** Deadlock analysis in the coordinated plane.
+
+    The paper notes (Section 6) that in the centralized case deadlocks can
+    be studied side by side with correctness [7], while distributed
+    deadlocks are left open. This module implements the geometric side: a
+    lattice point [(i,j)] — [i] steps of [t1] and [j] of [t2] executed — is
+    {e forbidden} when both transactions hold a common entity's lock there,
+    and a reachable point is a {e deadlock state} when both of its outgoing
+    moves lead into forbidden points. A pair of total orders can deadlock
+    iff such a state exists, testable in O(n²) by dynamic programming over
+    the grid.
+
+    For genuinely distributed (partial-order) transactions, deadlock
+    reachability is decided by direct state exploration
+    ({!Distlock_sched.Enumerate.has_deadlock}); the test suite checks that
+    on totally ordered pairs the two notions coincide. *)
+
+val forbidden : Plane.t -> int -> int -> bool
+(** Is the point [(i,j)] forbidden (some common entity locked by both)? *)
+
+val reachable_deadlocks : Plane.t -> (int * int) list
+(** All reachable deadlock states, ascending lexicographic order. *)
+
+val possible : Plane.t -> bool
+(** Can the totally ordered pair reach a deadlock? *)
+
+val witness_prefix : Plane.t -> Distlock_sched.Schedule.event list option
+(** A legal prefix of events driving the pair into a deadlock state, if
+    one exists: after executing it, neither transaction can take another
+    step. *)
+
+val deadlock_free_and_safe : Plane.t -> bool
+(** The conjunction studied in [7]: no separating path and no reachable
+    deadlock state. *)

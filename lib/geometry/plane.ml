@@ -1,0 +1,132 @@
+open Distlock_txn
+open Distlock_sched
+
+type t = {
+  sys : System.t;
+  exts : int array array; (* exts.(0), exts.(1): axis order of step indices *)
+  pos : int array array; (* pos.(axis).(step) = 1-based axis position *)
+  rects : Rect.t list;
+}
+
+let of_extensions sys ext1 ext2 =
+  let t1, t2 = System.pair sys in
+  if not (Distlock_order.Poset.is_linear_extension (Txn.order t1) ext1) then
+    invalid_arg "Plane.of_extensions: ext1 is not a linear extension of T1";
+  if not (Distlock_order.Poset.is_linear_extension (Txn.order t2) ext2) then
+    invalid_arg "Plane.of_extensions: ext2 is not a linear extension of T2";
+  let positions ext =
+    let p = Array.make (Array.length ext) 0 in
+    Array.iteri (fun i s -> p.(s) <- i + 1) ext;
+    p
+  in
+  let pos1 = positions ext1 and pos2 = positions ext2 in
+  let common = System.common_locked sys 0 1 in
+  let rects =
+    List.map
+      (fun e ->
+        let get f txn = match f txn e with
+          | Some s -> s
+          | None -> assert false (* e is commonly locked *)
+        in
+        {
+          Rect.entity = e;
+          x_lock = pos1.(get Txn.lock_of t1);
+          x_unlock = pos1.(get Txn.unlock_of t1);
+          y_lock = pos2.(get Txn.lock_of t2);
+          y_unlock = pos2.(get Txn.unlock_of t2);
+        })
+      common
+  in
+  { sys; exts = [| ext1; ext2 |]; pos = [| pos1; pos2 |]; rects }
+
+let make sys =
+  let t1, t2 = System.pair sys in
+  if not (Txn.is_total t1 && Txn.is_total t2) then
+    invalid_arg "Plane.make: transactions are not totally ordered";
+  of_extensions sys
+    (Distlock_order.Poset.linearize (Txn.order t1))
+    (Distlock_order.Poset.linearize (Txn.order t2))
+
+let system t = t.sys
+
+let width t = Array.length t.exts.(0)
+
+let height t = Array.length t.exts.(1)
+
+let rectangles t = t.rects
+
+let rectangle t e = List.find_opt (fun r -> r.Rect.entity = e) t.rects
+
+let extension t axis = Array.copy t.exts.(axis)
+
+let position t axis step = t.pos.(axis).(step)
+
+let schedule_of_path t moves =
+  let ups = List.length (List.filter Fun.id moves) in
+  let rights = List.length moves - ups in
+  if rights <> width t || ups <> height t then
+    invalid_arg "Plane.schedule_of_path: wrong move counts";
+  let i = ref 0 and j = ref 0 in
+  let events =
+    List.map
+      (fun up ->
+        if up then begin
+          let s = t.exts.(1).(!j) in
+          incr j;
+          (1, s)
+        end
+        else begin
+          let s = t.exts.(0).(!i) in
+          incr i;
+          (0, s)
+        end)
+      moves
+  in
+  Schedule.of_events events
+
+let path_of_schedule t sched =
+  let i = ref 0 and j = ref 0 in
+  List.map
+    (fun (txn, s) ->
+      match txn with
+      | 0 ->
+          if !i >= width t || t.exts.(0).(!i) <> s then
+            invalid_arg "Plane.path_of_schedule: schedule disagrees with axis 1";
+          incr i;
+          false
+      | 1 ->
+          if !j >= height t || t.exts.(1).(!j) <> s then
+            invalid_arg "Plane.path_of_schedule: schedule disagrees with axis 2";
+          incr j;
+          true
+      | _ -> invalid_arg "Plane.path_of_schedule: not a two-transaction schedule")
+    (Schedule.events sched)
+
+let b_vector t sched =
+  (* b = 1 (above) iff t2's Ux precedes t1's Lx in the schedule;
+     b = 0 (below) iff t1's Ux precedes t2's Lx. *)
+  let index = Hashtbl.create 64 in
+  List.iteri (fun p ev -> Hashtbl.replace index ev p) (Schedule.events sched);
+  let t1, t2 = System.pair t.sys in
+  List.map
+    (fun r ->
+      let e = r.Rect.entity in
+      let p txn_idx txn f =
+        match f txn e with
+        | Some s -> Hashtbl.find index (txn_idx, s)
+        | None -> assert false
+      in
+      let l1 = p 0 t1 Txn.lock_of
+      and u1 = p 0 t1 Txn.unlock_of
+      and l2 = p 1 t2 Txn.lock_of
+      and u2 = p 1 t2 Txn.unlock_of in
+      if u2 < l1 then (e, true)
+      else if u1 < l2 then (e, false)
+      else invalid_arg "Plane.b_vector: interleaved lock sections (illegal schedule)")
+    t.rects
+
+let separates t sched =
+  let bv = b_vector t sched in
+  let above = List.filter_map (fun (e, b) -> if b then Some e else None) bv in
+  let below = List.filter_map (fun (e, b) -> if not b then Some e else None) bv in
+  match (above, below) with a :: _, b :: _ -> Some (a, b) | _ -> None

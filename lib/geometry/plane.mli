@@ -1,0 +1,60 @@
+open Distlock_txn
+open Distlock_sched
+
+(** The coordinated plane of a pair of totally ordered transactions
+    (Section 3, Fig 2): [t1] on the horizontal axis, [t2] on the vertical
+    axis, one forbidden rectangle per commonly locked entity.
+
+    A schedule of [{t1, t2}] corresponds to a monotone lattice path from
+    [(0,0)] to [(n1+1, n2+1)]; the path passes either below or above each
+    rectangle, which is recorded by the b-vector of Theorem 1's proof:
+    [b_x = 0] iff [t1] finishes with [x] before [t2] starts
+    ([Ux_1 < Lx_2] in the schedule), [b_x = 1] in the opposite case. *)
+
+type t
+
+val of_extensions : System.t -> int array -> int array -> t
+(** [of_extensions sys ext1 ext2] builds the plane for the pair of linear
+    extensions of a two-transaction system. Raises [Invalid_argument] if
+    the arrays are not linear extensions of the respective transactions. *)
+
+val make : System.t -> t
+(** The plane of an already totally ordered pair (Fig 2's situation);
+    raises [Invalid_argument] if either transaction is not total. *)
+
+val system : t -> System.t
+
+val width : t -> int
+(** Steps of [t1] ([n1]). *)
+
+val height : t -> int
+
+val rectangles : t -> Rect.t list
+(** One per commonly locked entity, ascending entity id. *)
+
+val rectangle : t -> Database.entity -> Rect.t option
+
+val extension : t -> int -> int array
+(** The linear extension of transaction [0] or [1] underlying the axis. *)
+
+val position : t -> int -> int -> int
+(** [position plane txn step] is the 1-based axis position of a step. *)
+
+val schedule_of_path : t -> bool list -> Schedule.t
+(** [schedule_of_path plane moves] converts a monotone path — [false] =
+    right (a [t1] step), [true] = up (a [t2] step) — into a schedule.
+    Raises [Invalid_argument] unless there are exactly [width] rights and
+    [height] ups. *)
+
+val path_of_schedule : t -> Schedule.t -> bool list
+(** Inverse of {!schedule_of_path}; raises [Invalid_argument] if the
+    schedule's projections disagree with the plane's extensions. *)
+
+val b_vector : t -> Schedule.t -> (Database.entity * bool) list
+(** For a legal schedule: whether the path passes above ([true]) each
+    rectangle. Raises [Invalid_argument] if some rectangle is neither
+    cleanly above nor below (an illegal schedule). *)
+
+val separates : t -> Schedule.t -> (Database.entity * Database.entity) option
+(** Proposition 1's criterion: two rectangles on opposite sides of the
+    path, if any — in which case the schedule is not serializable. *)

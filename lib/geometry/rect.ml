@@ -1,0 +1,17 @@
+open Distlock_txn
+
+type t = {
+  entity : Database.entity;
+  x_lock : int;
+  x_unlock : int;
+  y_lock : int;
+  y_unlock : int;
+}
+
+let overlaps a b =
+  a.x_lock < b.x_unlock && b.x_lock < a.x_unlock && a.y_lock < b.y_unlock
+  && b.y_lock < a.y_unlock
+
+let pp db ppf r =
+  Format.fprintf ppf "%s:[%d,%d]x[%d,%d]" (Database.name db r.entity) r.x_lock
+    r.x_unlock r.y_lock r.y_unlock

@@ -1,0 +1,23 @@
+open Distlock_txn
+
+(** Forbidden rectangles in the coordinated plane (Section 3, Fig 2).
+
+    For an entity [x] locked by both transactions, the rectangle spans
+    horizontally from [t1]'s [Lx] to its [Ux] and vertically from [t2]'s
+    [Lx] to its [Ux]; its interior is unreachable because both transactions
+    would hold the lock simultaneously. Positions are 1-based step indices
+    on each axis. *)
+
+type t = {
+  entity : Database.entity;
+  x_lock : int;  (** position of [Lx] in [t1] *)
+  x_unlock : int;  (** position of [Ux] in [t1] *)
+  y_lock : int;  (** position of [Lx] in [t2] *)
+  y_unlock : int;  (** position of [Ux] in [t2] *)
+}
+
+val overlaps : t -> t -> bool
+(** Open-interior intersection in both dimensions (such rectangles can
+    never be separated — they form a 2-cycle in the interlock digraph). *)
+
+val pp : Database.t -> Format.formatter -> t -> unit

@@ -1,0 +1,73 @@
+open Distlock_txn
+
+(* The picture uses two kinds of text rows:
+   - point rows: the lattice points at height j, drawn as '+' ('*' when
+     the schedule's staircase passes through them);
+   - cell rows: the unit squares between heights j-1 and j, filled with
+     the letter of the rectangle covering them (rectangles span from grid
+     line [lock] to grid line [unlock] on each axis). *)
+let plane ?schedule p =
+  let sys = Plane.system p in
+  let db = System.db sys in
+  let n1 = Plane.width p and n2 = Plane.height p in
+  (* square (i, j): x in (i, i+1), y in (j-1, j) *)
+  let square i j =
+    let covering =
+      List.find_opt
+        (fun r ->
+          r.Rect.x_lock <= i && i < r.Rect.x_unlock && r.Rect.y_lock < j
+          && j <= r.Rect.y_unlock)
+        (Plane.rectangles p)
+    in
+    match covering with
+    | None -> ' '
+    | Some r ->
+        let name = Database.name db r.Rect.entity in
+        if String.length name > 0 then name.[0] else '#'
+  in
+  let on_path = Array.make_matrix (n1 + 1) (n2 + 1) false in
+  (match schedule with
+  | None -> ()
+  | Some h ->
+      let moves = Plane.path_of_schedule p h in
+      let i = ref 0 and j = ref 0 in
+      on_path.(0).(0) <- true;
+      List.iter
+        (fun up ->
+          if up then incr j else incr i;
+          on_path.(!i).(!j) <- true)
+        moves);
+  let t1, t2 = System.pair sys in
+  let ext1 = Plane.extension p 0 and ext2 = Plane.extension p 1 in
+  let buf = Buffer.create 1024 in
+  let point_row j =
+    Buffer.add_string buf (String.make 7 ' ');
+    for i = 0 to n1 do
+      Buffer.add_char buf (if on_path.(i).(j) then '*' else '+');
+      if i < n1 then Buffer.add_string buf "  "
+    done;
+    Buffer.add_char buf '\n'
+  in
+  let cell_row j =
+    let ylab = Step.to_string db (Txn.step t2 ext2.(j - 1)) in
+    Buffer.add_string buf (Printf.sprintf "%6s " ylab);
+    for i = 0 to n1 - 1 do
+      let c = square i j in
+      Buffer.add_char buf ' ';
+      Buffer.add_char buf c;
+      Buffer.add_char buf c
+    done;
+    Buffer.add_char buf '\n'
+  in
+  for j = n2 downto 1 do
+    point_row j;
+    cell_row j
+  done;
+  point_row 0;
+  (* x axis labels *)
+  Buffer.add_string buf (String.make 7 ' ');
+  for i = 1 to n1 do
+    Buffer.add_string buf (Printf.sprintf "%3s" (Step.to_string db (Txn.step t1 ext1.(i - 1))))
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

@@ -1,0 +1,10 @@
+(** ASCII rendering of the coordinated plane (the paper's Fig 2 picture).
+
+    [t1] runs left-to-right, [t2] bottom-to-top. Each forbidden rectangle
+    is filled with its entity's letter; an optional schedule is drawn as a
+    monotone staircase of [*] marks through the lattice points it visits.
+    Axis labels show the step at each grid position. *)
+
+val plane : ?schedule:Distlock_sched.Schedule.t -> Plane.t -> string
+(** Raises [Invalid_argument] if the schedule's projections disagree with
+    the plane's extensions (see {!Plane.path_of_schedule}). *)

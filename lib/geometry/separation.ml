@@ -1,0 +1,92 @@
+open Distlock_txn
+open Distlock_sched
+open Distlock_graph
+
+type verdict =
+  | Safe
+  | Unsafe of {
+      schedule : Schedule.t;
+      below : Database.entity list;
+      above : Database.entity list;
+    }
+
+let interlock_rects rects =
+  let k = Array.length rects in
+  let g = Digraph.create k in
+  for a = 0 to k - 1 do
+    for b = 0 to k - 1 do
+      if a <> b then begin
+        let ra = rects.(a) and rb = rects.(b) in
+        (* (a,b): La precedes Ub in t1 and Lb precedes Ua in t2. *)
+        if ra.Rect.x_lock < rb.Rect.x_unlock && rb.Rect.y_lock < ra.Rect.y_unlock
+        then Digraph.add_arc g a b
+      end
+    done
+  done;
+  (g, Array.map (fun r -> r.Rect.entity) rects)
+
+let interlock plane = interlock_rects (Array.of_list (Plane.rectangles plane))
+
+let rects_strongly_connected rects =
+  let g, entities = interlock_rects (Array.of_list rects) in
+  Array.length entities < 2 || Distlock_graph.Scc.is_strongly_connected g
+
+let realize plane ~above =
+  let n1 = Plane.width plane and n2 = Plane.height plane in
+  (* Preconditions per axis position: to take t1's step at position i+1,
+     the other axis must have advanced at least [need1.(i)]. *)
+  let need1 = Array.make n1 0 and need2 = Array.make n2 0 in
+  List.iter
+    (fun r ->
+      let e = r.Rect.entity in
+      if above e then
+        (* above: t2's section first; t1 may not lock e before t2 unlocks. *)
+        need1.(r.Rect.x_lock - 1) <- max need1.(r.Rect.x_lock - 1) r.Rect.y_unlock
+      else
+        need2.(r.Rect.y_lock - 1) <- max need2.(r.Rect.y_lock - 1) r.Rect.x_unlock)
+    (Plane.rectangles plane);
+  let seen = Array.make_matrix (n1 + 1) (n2 + 1) false in
+  let rec go i j path =
+    if i = n1 && j = n2 then Some (List.rev path)
+    else if seen.(i).(j) then None
+    else begin
+      seen.(i).(j) <- true;
+      let right =
+        if i < n1 && j >= need1.(i) then go (i + 1) j (false :: path) else None
+      in
+      match right with
+      | Some _ -> right
+      | None ->
+          if j < n2 && i >= need2.(j) then go i (j + 1) (true :: path) else None
+    end
+  in
+  Option.map (Plane.schedule_of_path plane) (go 0 0 [])
+
+let decide plane =
+  let g, entities = interlock plane in
+  let k = Array.length entities in
+  if k < 2 then Safe
+  else
+    match Dominator.find g with
+    | None -> Safe
+    | Some x ->
+        let in_x = Array.make k false in
+        Distlock_graph.Bitset.iter (fun v -> in_x.(v) <- true) x;
+        let above e =
+          (* b = 0 (below) on the dominator, 1 elsewhere. *)
+          let rec idx a = if entities.(a) = e then a else idx (a + 1) in
+          not in_x.(idx 0)
+        in
+        (match realize plane ~above with
+        | Some schedule ->
+            let below, above_l =
+              List.partition (fun e -> not (above e))
+                (Array.to_list entities)
+            in
+            Unsafe { schedule; below; above = above_l }
+        | None ->
+            (* For total orders a dominator always yields a realizable
+               b-vector (Theorem 2 with trivial closure). *)
+            assert false)
+
+let is_safe plane = match decide plane with Safe -> true | Unsafe _ -> false

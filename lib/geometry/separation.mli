@@ -1,0 +1,39 @@
+open Distlock_txn
+open Distlock_sched
+open Distlock_graph
+
+(** Proposition 1: deciding safety of a pair of *totally ordered*
+    transactions, and constructing separating (hence non-serializable)
+    schedules.
+
+    For total orders there is a single geometric picture, so the interlock
+    digraph [D(t1,t2)] of Definition 1 decides safety exactly: the pair is
+    safe iff the digraph is strongly connected (or has fewer than two
+    rectangles). When it is not, any dominator yields a realizable b-vector
+    whose path separates the dominator's rectangles from the rest. *)
+
+type verdict =
+  | Safe
+  | Unsafe of {
+      schedule : Schedule.t;  (** A legal, non-serializable schedule. *)
+      below : Database.entity list;  (** Rectangles the path passes below. *)
+      above : Database.entity list;
+    }
+
+val interlock : Plane.t -> Digraph.t * Database.entity array
+(** [D(t1,t2)] over the commonly locked entities; the array maps vertex
+    indices to entity ids. *)
+
+val rects_strongly_connected : Rect.t list -> bool
+(** The naive Θ(k²) strong-connectivity test on bare rectangles, for
+    benchmarking against {!Fast_test}. *)
+
+val realize : Plane.t -> above:(Database.entity -> bool) -> Schedule.t option
+(** A legal schedule whose path passes above exactly the rectangles chosen
+    by [above], if one exists (memoized lattice search, O(n²) states). *)
+
+val decide : Plane.t -> verdict
+(** Safety of the totally ordered pair. [Unsafe] verdicts come with a
+    verified separating schedule. *)
+
+val is_safe : Plane.t -> bool

@@ -1,0 +1,115 @@
+type t = { words : int array; capacity : int }
+
+let bits_per_word = Sys.int_size
+
+let nwords n = if n = 0 then 0 else ((n - 1) / bits_per_word) + 1
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Array.make (nwords n) 0; capacity = n }
+
+let capacity t = t.capacity
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let copy t = { t with words = Array.copy t.words }
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let same_capacity a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset: capacity mismatch"
+
+let union_into ~dst src =
+  same_capacity dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) lor src.words.(i)
+  done
+
+let inter_into ~dst src =
+  same_capacity dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) land src.words.(i)
+  done
+
+let equal a b = a.capacity = b.capacity && a.words = b.words
+
+let subset a b =
+  same_capacity a b;
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land lnot b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let disjoint a b =
+  same_capacity a b;
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = t.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n xs =
+  let t = create n in
+  List.iter (add t) xs;
+  t
+
+let full n =
+  let t = create n in
+  for i = 0 to n - 1 do
+    add t i
+  done;
+  t
+
+let complement t =
+  let r = create t.capacity in
+  for i = 0 to t.capacity - 1 do
+    if not (mem t i) then add r i
+  done;
+  r
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (elements t)

@@ -1,0 +1,125 @@
+(* A tiny binary min-heap on (priority, vertex) pairs; the standard library
+   has no priority queue and the priority sorts below are on hot paths of
+   the Theorem 2 certificate construction. *)
+module Heap = struct
+  type t = { mutable data : (int * int) array; mutable size : int }
+
+  let create () = { data = Array.make 16 (0, 0); size = 0 }
+
+  let swap h i j =
+    let t = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- t
+
+  let push h x =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) (0, 0) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- x;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && h.data.((!i - 1) / 2) > h.data.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && h.data.(l) < h.data.(!smallest) then smallest := l;
+        if r < h.size && h.data.(r) < h.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+let sort_with_priority g ~priority =
+  let n = Digraph.n g in
+  let indeg = Array.init n (Digraph.in_degree g) in
+  let heap = Heap.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Heap.push heap (priority v, v)
+  done;
+  let order = Array.make n (-1) in
+  let emitted = ref 0 in
+  let rec drain () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (_, v) ->
+        order.(!emitted) <- v;
+        incr emitted;
+        Digraph.iter_succ g v (fun w ->
+            indeg.(w) <- indeg.(w) - 1;
+            if indeg.(w) = 0 then Heap.push heap (priority w, w));
+        drain ()
+  in
+  drain ();
+  if !emitted = n then Some order else None
+
+let sort g = sort_with_priority g ~priority:(fun _ -> 0)
+
+let is_acyclic g = Option.is_some (sort g)
+
+let find_cycle g =
+  let n = Digraph.n g in
+  (* colors: 0 = unvisited, 1 = on current path, 2 = done *)
+  let color = Array.make n 0 in
+  let parent = Array.make n (-1) in
+  let found = ref None in
+  let rec dfs v =
+    color.(v) <- 1;
+    let rec scan = function
+      | [] -> ()
+      | w :: rest ->
+          if !found = None then begin
+            if color.(w) = 0 then begin
+              parent.(w) <- v;
+              dfs w
+            end
+            else if color.(w) = 1 then begin
+              (* Walk back from v to w along parents. *)
+              let rec back u acc = if u = w then u :: acc else back parent.(u) (u :: acc) in
+              found := Some (back v [])
+            end;
+            scan rest
+          end
+    in
+    scan (Digraph.succ g v);
+    color.(v) <- 2
+  in
+  let v = ref 0 in
+  while !found = None && !v < n do
+    if color.(!v) = 0 then dfs !v;
+    incr v
+  done;
+  !found
+
+let is_topological_order g order =
+  let n = Digraph.n g in
+  if Array.length order <> n then false
+  else begin
+    let pos = Array.make n (-1) in
+    let ok = ref true in
+    Array.iteri
+      (fun i v ->
+        if v < 0 || v >= n || pos.(v) <> -1 then ok := false else pos.(v) <- i)
+      order;
+    if !ok then
+      Digraph.iter_arcs g (fun u v -> if pos.(u) >= pos.(v) then ok := false);
+    !ok
+  end

@@ -1,0 +1,71 @@
+exception Stop
+
+let iter_gen p f =
+  let n = Poset.size p in
+  let g = Poset.to_digraph p in
+  let indeg = Array.init n (Distlock_graph.Digraph.in_degree g) in
+  let order = Array.make n (-1) in
+  let placed = Array.make n false in
+  let rec go depth =
+    if depth = n then f order
+    else
+      (* lexicographic: try available elements in increasing id order *)
+      for v = 0 to n - 1 do
+        if (not placed.(v)) && indeg.(v) = 0 then begin
+          placed.(v) <- true;
+          order.(depth) <- v;
+          Distlock_graph.Digraph.iter_succ g v (fun w ->
+              indeg.(w) <- indeg.(w) - 1);
+          go (depth + 1);
+          Distlock_graph.Digraph.iter_succ g v (fun w ->
+              indeg.(w) <- indeg.(w) + 1);
+          placed.(v) <- false
+        end
+      done
+  in
+  go 0
+
+let iter p f = iter_gen p f
+
+let exists p pred =
+  try
+    iter_gen p (fun o -> if pred o then raise Stop);
+    false
+  with Stop -> true
+
+let find p pred =
+  let found = ref None in
+  (try
+     iter_gen p (fun o ->
+         if pred o then begin
+           found := Some (Array.copy o);
+           raise Stop
+         end)
+   with Stop -> ());
+  !found
+
+let count ?(limit = 10_000_000) p =
+  let c = ref 0 in
+  iter_gen p (fun _ ->
+      incr c;
+      if !c > limit then failwith "Linext.count: limit exceeded");
+  !c
+
+let random rng p =
+  let n = Poset.size p in
+  let g = Poset.to_digraph p in
+  let indeg = Array.init n (Distlock_graph.Digraph.in_degree g) in
+  let placed = Array.make n false in
+  let order = Array.make n (-1) in
+  for depth = 0 to n - 1 do
+    let avail = ref [] in
+    for v = 0 to n - 1 do
+      if (not placed.(v)) && indeg.(v) = 0 then avail := v :: !avail
+    done;
+    let choices = Array.of_list !avail in
+    let v = choices.(Random.State.int rng (Array.length choices)) in
+    placed.(v) <- true;
+    order.(depth) <- v;
+    Distlock_graph.Digraph.iter_succ g v (fun w -> indeg.(w) <- indeg.(w) - 1)
+  done;
+  order

@@ -1,0 +1,26 @@
+(** Linear extensions of a poset.
+
+    Lemma 1 reduces distributed pair safety to safety of all pairs of
+    compatible total orders; the brute-force oracle therefore needs to walk
+    the (possibly exponential) space of linear extensions. Enumeration is
+    callback-driven with early exit so oracles can stop at the first
+    counterexample. *)
+
+val iter : Poset.t -> (int array -> unit) -> unit
+(** Calls the function on every linear extension, in lexicographic order of
+    the emitted element sequence. The array is reused between calls: copy it
+    if you keep it. *)
+
+val exists : Poset.t -> (int array -> bool) -> bool
+(** Short-circuiting search for an extension satisfying the predicate. *)
+
+val find : Poset.t -> (int array -> bool) -> int array option
+
+val count : ?limit:int -> Poset.t -> int
+(** Number of linear extensions, by direct enumeration. Stops and raises
+    [Failure] after [limit] (default [10_000_000]) extensions. *)
+
+val random : Random.State.t -> Poset.t -> int array
+(** A uniformly-ish random extension: repeatedly picks an available element
+    uniformly (not exactly uniform over extensions, but cheap and a good
+    test-case distribution). *)

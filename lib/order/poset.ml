@@ -1,0 +1,105 @@
+open Distlock_graph
+
+type t = {
+  size : int;
+  after : Bitset.t array; (* after.(a) = strict successors of a *)
+}
+
+let size t = t.size
+
+let precedes t a b = Bitset.mem t.after.(a) b
+
+let of_digraph g =
+  match Topo.sort g with
+  | None -> None
+  | Some _ -> Some { size = Digraph.n g; after = Reach.closure g }
+
+let of_arcs n arcs = of_digraph (Digraph.of_arcs n arcs)
+
+let empty n = { size = n; after = Array.init n (fun _ -> Bitset.create n) }
+
+let chain n =
+  {
+    size = n;
+    after =
+      Array.init n (fun a ->
+          let s = Bitset.create n in
+          for b = a + 1 to n - 1 do
+            Bitset.add s b
+          done;
+          s);
+  }
+
+let concurrent t a b = a <> b && (not (precedes t a b)) && not (precedes t b a)
+
+let comparable t a b = precedes t a b || precedes t b a
+
+let relation t =
+  let acc = ref [] in
+  for a = t.size - 1 downto 0 do
+    List.iter (fun b -> acc := (a, b) :: !acc) (List.rev (Bitset.elements t.after.(a)))
+  done;
+  !acc
+
+let to_digraph t =
+  let g = Digraph.create t.size in
+  Array.iteri (fun a s -> Bitset.iter (fun b -> Digraph.add_arc g a b) s) t.after;
+  g
+
+let covers t = Digraph.arcs (Reach.transitive_reduction (to_digraph t))
+
+let add_arcs t arcs =
+  let g = to_digraph t in
+  List.iter (fun (a, b) -> Digraph.add_arc g a b) arcs;
+  of_digraph g
+
+let up_set t a = Bitset.copy t.after.(a)
+
+let down_set t a =
+  let s = Bitset.create t.size in
+  for b = 0 to t.size - 1 do
+    if precedes t b a then Bitset.add s b
+  done;
+  s
+
+let is_total t =
+  let ok = ref true in
+  for a = 0 to t.size - 1 do
+    for b = a + 1 to t.size - 1 do
+      if not (comparable t a b) then ok := false
+    done
+  done;
+  !ok
+
+let total_on t elems =
+  let rec pairs = function
+    | [] -> true
+    | a :: rest -> List.for_all (fun b -> comparable t a b) rest && pairs rest
+  in
+  pairs elems
+
+let is_linear_extension t order =
+  Array.length order = t.size
+  && Topo.is_topological_order (to_digraph t) order
+
+let linearize_with_priority t ~priority =
+  match Topo.sort_with_priority (to_digraph t) ~priority with
+  | Some o -> o
+  | None -> assert false (* posets are acyclic by construction *)
+
+let linearize t = linearize_with_priority t ~priority:(fun _ -> 0)
+
+let equal a b =
+  a.size = b.size && Array.for_all2 Bitset.equal a.after b.after
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>poset(%d): %a@]" t.size
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (a, b) -> Format.fprintf ppf "%d<%d" a b))
+    (covers t)
+
+let reverse t =
+  match of_digraph (Distlock_graph.Digraph.transpose (to_digraph t)) with
+  | Some p -> p
+  | None -> assert false (* reversing an acyclic relation keeps it acyclic *)

@@ -1,0 +1,73 @@
+open Distlock_txn
+open Distlock_order
+
+let random_txn rng db ~name ~entities ~shared_prob ~cross_prob =
+  let entities = Array.of_list entities in
+  let n = 2 * Array.length entities in
+  let steps = Array.make n { Rw_txn.action = Rw_txn.Unlock; entity = 0 } in
+  let labels = Array.make n "" in
+  let constraints = ref [] in
+  Array.iteri
+    (fun k e ->
+      let mode =
+        if Random.State.float rng 1.0 < shared_prob then Rw_txn.Shared
+        else Rw_txn.Exclusive
+      in
+      let l = 2 * k and u = (2 * k) + 1 in
+      steps.(l) <- { Rw_txn.action = Rw_txn.Lock mode; entity = e };
+      steps.(u) <- { Rw_txn.action = Rw_txn.Unlock; entity = e };
+      let en = Database.name db e in
+      labels.(l) <-
+        (match mode with Rw_txn.Shared -> "SL" ^ en | Rw_txn.Exclusive -> "XL" ^ en);
+      labels.(u) <- "U" ^ en;
+      constraints := (l, u) :: !constraints)
+    entities;
+  (* random base linear order respecting L < U *)
+  let g = Distlock_graph.Digraph.of_arcs n !constraints in
+  let indeg = Array.init n (Distlock_graph.Digraph.in_degree g) in
+  let placed = Array.make n false in
+  let base = Array.make n (-1) in
+  for depth = 0 to n - 1 do
+    let avail = ref [] in
+    for v = 0 to n - 1 do
+      if (not placed.(v)) && indeg.(v) = 0 then avail := v :: !avail
+    done;
+    let arr = Array.of_list !avail in
+    let v = arr.(Random.State.int rng (Array.length arr)) in
+    placed.(v) <- true;
+    base.(depth) <- v;
+    Distlock_graph.Digraph.iter_succ g v (fun w -> indeg.(w) <- indeg.(w) - 1)
+  done;
+  let site_of i = Database.site db steps.(i).Rw_txn.entity in
+  let arcs = ref !constraints in
+  let last_at_site = Hashtbl.create 8 in
+  Array.iter
+    (fun i ->
+      let s = site_of i in
+      (match Hashtbl.find_opt last_at_site s with
+      | Some prev -> arcs := (prev, i) :: !arcs
+      | None -> ());
+      Hashtbl.replace last_at_site s i)
+    base;
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      let i = base.(a) and j = base.(b) in
+      if site_of i <> site_of j && Random.State.float rng 1.0 < cross_prob then
+        arcs := (i, j) :: !arcs
+    done
+  done;
+  let order = Option.get (Poset.of_arcs n !arcs) in
+  Rw_txn.make ~name ~labels ~steps order
+
+let random_pair rng ~num_shared ~num_sites ?(shared_prob = 0.4)
+    ?(cross_prob = 0.3) () =
+  let db =
+    Txn_gen.random_database rng ~num_entities:(max num_shared num_sites)
+      ~num_sites
+  in
+  let entities =
+    List.filteri (fun i _ -> i < num_shared) (Database.entities db)
+  in
+  let t1 = random_txn rng db ~name:"T1" ~entities ~shared_prob ~cross_prob in
+  let t2 = random_txn rng db ~name:"T2" ~entities ~shared_prob ~cross_prob in
+  Rw_system.make db [ t1; t2 ]

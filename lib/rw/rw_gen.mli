@@ -1,0 +1,14 @@
+(** Random generation of well-formed shared/exclusive systems (same
+    global-linear-order technique as {!Distlock_txn.Txn_gen}). *)
+
+val random_pair :
+  Random.State.t ->
+  num_shared:int ->
+  num_sites:int ->
+  ?shared_prob:float ->
+  ?cross_prob:float ->
+  unit ->
+  Rw_system.t
+(** Both transactions lock the same [num_shared] entities; each lock is
+    shared with probability [shared_prob] (default [0.4]),
+    independently per transaction. *)

@@ -1,0 +1,44 @@
+open Distlock_txn
+open Distlock_graph
+
+let dgraph sys =
+  let t1, t2 = Rw_system.pair sys in
+  let common = Array.of_list (Rw_system.conflicting_common sys) in
+  let k = Array.length common in
+  let g = Digraph.create k in
+  let l1 = Array.map (fun e -> fst (Option.get (Rw_txn.lock_of t1 e))) common in
+  let u1 = Array.map (fun e -> Option.get (Rw_txn.unlock_of t1 e)) common in
+  let l2 = Array.map (fun e -> fst (Option.get (Rw_txn.lock_of t2 e))) common in
+  let u2 = Array.map (fun e -> Option.get (Rw_txn.unlock_of t2 e)) common in
+  for a = 0 to k - 1 do
+    for b = 0 to k - 1 do
+      if
+        a <> b
+        && Rw_txn.precedes t1 l1.(a) u1.(b)
+        && Rw_txn.precedes t2 l2.(b) u2.(a)
+      then Digraph.add_arc g a b
+    done
+  done;
+  (g, common)
+
+let sites_used sys =
+  let db = Rw_system.db sys in
+  let acc = Hashtbl.create 8 in
+  for i = 0 to Rw_system.num_txns sys - 1 do
+    let txn = Rw_system.txn sys i in
+    for s = 0 to Rw_txn.num_steps txn - 1 do
+      Hashtbl.replace acc (Database.site db (Rw_txn.step txn s).Rw_txn.entity) ()
+    done
+  done;
+  Hashtbl.length acc
+
+let theorem1_guarantee sys =
+  let g, entities = dgraph sys in
+  Array.length entities < 2 || Scc.is_strongly_connected g
+
+let twosite_decide sys =
+  if Rw_system.num_txns sys <> 2 then
+    invalid_arg "Rw_safety.twosite_decide: need two transactions";
+  if sites_used sys > 2 then
+    invalid_arg "Rw_safety.twosite_decide: more than two sites";
+  theorem1_guarantee sys

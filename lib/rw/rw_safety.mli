@@ -1,0 +1,25 @@
+open Distlock_txn
+open Distlock_graph
+
+(** Safety of shared/exclusive-locked pairs: the paper's claim that lock
+    variants "change the theory very little" (Section 1, citing [8]),
+    made precise and machine-checked.
+
+    The D-graph analog is built over the *conflicting* common entities —
+    those locked by both transactions with at least one exclusive mode;
+    entities shared on both sides produce no forbidden region and drop
+    out. On that vertex set the arcs are Definition 1's, and the test
+    suite validates on random two-site systems that strong connectivity
+    is again exact (agreeing with exhaustive enumeration under the
+    shared-compatible lock semantics). *)
+
+val dgraph : Rw_system.t -> Digraph.t * Database.entity array
+(** The analog of [D(T1,T2)] over {!Rw_system.conflicting_common}. *)
+
+val twosite_decide : Rw_system.t -> bool
+(** [true] = safe. Raises [Invalid_argument] on systems with more than two
+    transactions or more than two sites. *)
+
+val theorem1_guarantee : Rw_system.t -> bool
+(** Strong connectivity of the analog graph (sufficient for safety at any
+    number of sites, by reduction to the exclusive model). *)

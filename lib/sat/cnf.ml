@@ -1,0 +1,67 @@
+type literal = { var : int; positive : bool }
+
+type clause = literal list
+
+type t = { num_vars : int; clauses : clause list }
+
+let pos var = { var; positive = true }
+
+let neg var = { var; positive = false }
+
+let make ~num_vars clauses =
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun l ->
+          if l.var < 0 || l.var >= num_vars then
+            invalid_arg "Cnf.make: literal out of range")
+        clause)
+    clauses;
+  { num_vars; clauses }
+
+let negate l = { l with positive = not l.positive }
+
+let eval_literal assignment l =
+  if l.positive then assignment.(l.var) else not assignment.(l.var)
+
+let eval_clause assignment c = List.exists (eval_literal assignment) c
+
+let eval assignment t = List.for_all (eval_clause assignment) t.clauses
+
+let num_clauses t = List.length t.clauses
+
+let occurrences t =
+  let occ = Array.make t.num_vars (0, 0) in
+  List.iter
+    (List.iter (fun l ->
+         let p, n = occ.(l.var) in
+         occ.(l.var) <- (if l.positive then (p + 1, n) else (p, n + 1))))
+    t.clauses;
+  occ
+
+let is_restricted t =
+  let occ = occurrences t in
+  Array.for_all (fun (p, n) -> p <= 2 && n <= 1) occ
+  && List.for_all
+       (fun c ->
+         let len = List.length c in
+         let vars = List.map (fun l -> l.var) c in
+         (len = 2 || len = 3)
+         && List.length (List.sort_uniq compare vars) = len)
+       t.clauses
+
+let pp_literal ppf l =
+  Format.fprintf ppf "%sx%d" (if l.positive then "" else "~") l.var
+
+let pp ppf t =
+  if t.clauses = [] then Format.pp_print_string ppf "true"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ")
+      (fun ppf c ->
+        Format.fprintf ppf "(%a)"
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+             pp_literal)
+          c)
+      ppf t.clauses

@@ -1,0 +1,41 @@
+(** CNF formulas.
+
+    Variables are integers [0 .. num_vars - 1]; a literal is a variable
+    with a sign. Theorem 3 reduces satisfiability of formulas in a
+    *restricted form* — at most three literals per clause, each variable at
+    most twice unnegated and at most once negated — to unsafety of a pair
+    of distributed transactions; {!Normalize} produces that form. *)
+
+type literal = { var : int; positive : bool }
+
+type clause = literal list
+
+type t = { num_vars : int; clauses : clause list }
+
+val pos : int -> literal
+
+val neg : int -> literal
+
+val make : num_vars:int -> clause list -> t
+(** Raises [Invalid_argument] if a literal's variable is out of range. *)
+
+val negate : literal -> literal
+
+val eval_literal : bool array -> literal -> bool
+
+val eval_clause : bool array -> clause -> bool
+
+val eval : bool array -> t -> bool
+
+val num_clauses : t -> int
+
+val occurrences : t -> (int * int) array
+(** Per variable: (positive occurrence count, negative occurrence count). *)
+
+val is_restricted : t -> bool
+(** The form Theorem 3's reduction accepts: every clause has 2 or 3
+    literals, no clause repeats a variable, and each variable occurs at
+    most twice positively and at most once negatively. *)
+
+val pp : Format.formatter -> t -> unit
+(** E.g. [(x0 | ~x1 | x2) & (x1 | ~x2)]. *)

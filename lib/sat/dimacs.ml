@@ -1,0 +1,54 @@
+let to_string (f : Cnf.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" f.Cnf.num_vars (Cnf.num_clauses f));
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun (l : Cnf.literal) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d " (if l.Cnf.positive then l.Cnf.var + 1 else -(l.Cnf.var + 1))))
+        clause;
+      Buffer.add_string buf "0\n")
+    f.Cnf.clauses;
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let num_vars = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  let error = ref None in
+  let fail msg = if !error = None then error := Some msg in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+        | [ "p"; "cnf"; v; _ ] -> (
+            match int_of_string_opt v with
+            | Some v -> num_vars := v
+            | None -> fail "bad variable count in header")
+        | _ -> fail "malformed problem line"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (fun t -> t <> "")
+        |> List.iter (fun tok ->
+               match int_of_string_opt tok with
+               | None -> fail (Printf.sprintf "bad literal %S" tok)
+               | Some 0 ->
+                   clauses := List.rev !current :: !clauses;
+                   current := []
+               | Some l when l > 0 -> current := Cnf.pos (l - 1) :: !current
+               | Some l -> current := Cnf.neg (-l - 1) :: !current))
+    lines;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+      if !num_vars < 0 then Error "missing problem line"
+      else if !current <> [] then Error "unterminated clause"
+      else
+        (try Ok (Cnf.make ~num_vars:!num_vars (List.rev !clauses))
+         with Invalid_argument msg -> Error msg)

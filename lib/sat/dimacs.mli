@@ -1,0 +1,8 @@
+(** DIMACS CNF serialization, for interoperability with external tooling
+    and for the CLI's [reduce] command. *)
+
+val to_string : Cnf.t -> string
+
+val of_string : string -> (Cnf.t, string) result
+(** Parses the standard [p cnf <vars> <clauses>] format; comment lines
+    ([c ...]) are skipped. *)

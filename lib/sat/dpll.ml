@@ -1,0 +1,168 @@
+(* Clause state during search: literals are Cnf.literal; assignment is a
+   partial map var -> bool option. Plain recursive DPLL — formulas arising
+   in tests and benches have at most a few hundred variables. *)
+
+type assignment = bool option array
+
+let literal_status (a : assignment) (l : Cnf.literal) =
+  match a.(l.Cnf.var) with
+  | None -> `Unassigned
+  | Some v -> if v = l.Cnf.positive then `True else `False
+
+(* Returns `Sat | `Conflict | `Unit of literal | `Unresolved for a clause. *)
+let clause_status a clause =
+  let rec go unassigned = function
+    | [] -> (
+        match unassigned with
+        | [] -> `Conflict
+        | [ l ] -> `Unit l
+        | _ -> `Unresolved)
+    | l :: rest -> (
+        match literal_status a l with
+        | `True -> `Sat
+        | `False -> go unassigned rest
+        | `Unassigned -> go (l :: unassigned) rest)
+  in
+  go [] clause
+
+exception Conflict
+
+(* Unit propagation to fixpoint; returns the list of vars assigned. On
+   conflict, every assignment made here is undone before Conflict is
+   raised, so callers can treat propagation as transactional. *)
+let propagate a clauses =
+  let trail = ref [] in
+  try
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun c ->
+          match clause_status a c with
+          | `Conflict -> raise Conflict
+          | `Unit l ->
+              a.(l.Cnf.var) <- Some l.Cnf.positive;
+              trail := l.Cnf.var :: !trail;
+              changed := true
+          | `Sat | `Unresolved -> ())
+        clauses
+    done;
+    !trail
+  with Conflict ->
+    List.iter (fun v -> a.(v) <- None) !trail;
+    raise Conflict
+
+let pure_literals a clauses =
+  let num_vars = Array.length a in
+  let seen_pos = Array.make num_vars false in
+  let seen_neg = Array.make num_vars false in
+  List.iter
+    (fun c ->
+      match clause_status a c with
+      | `Sat -> ()
+      | _ ->
+          List.iter
+            (fun (l : Cnf.literal) ->
+              if a.(l.Cnf.var) = None then
+                if l.Cnf.positive then seen_pos.(l.Cnf.var) <- true
+                else seen_neg.(l.Cnf.var) <- true)
+            c)
+    clauses;
+  let pures = ref [] in
+  for v = 0 to num_vars - 1 do
+    if a.(v) = None then
+      if seen_pos.(v) && not seen_neg.(v) then pures := (v, true) :: !pures
+      else if seen_neg.(v) && not seen_pos.(v) then pures := (v, false) :: !pures
+  done;
+  !pures
+
+let solve (f : Cnf.t) =
+  let a = Array.make f.Cnf.num_vars None in
+  let clauses = f.Cnf.clauses in
+  let undo vars = List.iter (fun v -> a.(v) <- None) vars in
+  let rec search () =
+    match
+      (try `Propagated (propagate a clauses) with Conflict -> `Conflict)
+    with
+    | `Conflict -> false
+    | `Propagated trail -> (
+        let pures = pure_literals a clauses in
+        List.iter (fun (v, value) -> a.(v) <- Some value) pures;
+        let assigned = trail @ List.map fst pures in
+        let all_sat =
+          List.for_all (fun c -> clause_status a c = `Sat) clauses
+        in
+        if all_sat then true
+        else
+          (* branch on the first unassigned variable of an unresolved clause *)
+          let branch_var =
+            List.find_map
+              (fun c ->
+                match clause_status a c with
+                | `Sat -> None
+                | _ ->
+                    List.find_map
+                      (fun (l : Cnf.literal) ->
+                        if a.(l.Cnf.var) = None then Some l.Cnf.var else None)
+                      c)
+              clauses
+          in
+          match branch_var with
+          | None ->
+              (* No unresolved clause mentions an unassigned var, and not
+                 all clauses are satisfied: impossible (such a clause would
+                 be a conflict caught by propagate). *)
+              undo assigned;
+              false
+          | Some v ->
+              let try_value value =
+                a.(v) <- Some value;
+                let ok = search () in
+                if not ok then a.(v) <- None;
+                ok
+              in
+              if try_value true || try_value false then true
+              else begin
+                undo assigned;
+                false
+              end)
+  in
+  (* Vacuous variables (mentioned nowhere) default to false. *)
+  if search () then
+    Some (Array.map (function Some v -> v | None -> false) a)
+  else None
+
+let is_satisfiable f = Option.is_some (solve f)
+
+let check_var_limit f =
+  if f.Cnf.num_vars > 22 then
+    invalid_arg "Dpll: exhaustive search beyond 22 variables"
+
+let solve_brute f =
+  check_var_limit f;
+  let n = f.Cnf.num_vars in
+  let total = 1 lsl n in
+  let a = Array.make n false in
+  let rec go mask =
+    if mask >= total then None
+    else begin
+      for v = 0 to n - 1 do
+        a.(v) <- mask land (1 lsl v) <> 0
+      done;
+      if Cnf.eval a f then Some (Array.copy a) else go (mask + 1)
+    end
+  in
+  go 0
+
+let count_models f =
+  check_var_limit f;
+  let n = f.Cnf.num_vars in
+  let a = Array.make n false in
+  let count = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    for v = 0 to n - 1 do
+      a.(v) <- mask land (1 lsl v) <> 0
+    done;
+    if Cnf.eval a f then incr count
+  done;
+  !count

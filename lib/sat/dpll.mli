@@ -1,0 +1,18 @@
+(** A DPLL satisfiability solver with unit propagation and pure-literal
+    elimination. It is the independent oracle against which the Theorem 3
+    reduction is validated: for every formula [F],
+    [solve F <> None  <->  encode F is unsafe]. *)
+
+val solve : Cnf.t -> bool array option
+(** A satisfying assignment, or [None] if unsatisfiable. Every returned
+    assignment satisfies [Cnf.eval assignment f]. *)
+
+val is_satisfiable : Cnf.t -> bool
+
+val solve_brute : Cnf.t -> bool array option
+(** Exhaustive truth-table search; the oracle's oracle for tiny formulas
+    (raises [Invalid_argument] beyond 22 variables). *)
+
+val count_models : Cnf.t -> int
+(** Number of satisfying assignments, by exhaustive enumeration (same
+    variable limit as {!solve_brute}). *)

@@ -1,0 +1,159 @@
+type t = {
+  formula : Cnf.t;
+  original_vars : int;
+  var_map : (int * bool) option array;
+}
+
+(* Step 1: clean clauses — merge duplicate literals, drop tautologies. *)
+let clean_clauses clauses =
+  List.filter_map
+    (fun clause ->
+      let sorted = List.sort_uniq compare clause in
+      let tautological =
+        List.exists (fun (l : Cnf.literal) -> List.mem (Cnf.negate l) sorted) sorted
+      in
+      if tautological then None else Some sorted)
+    clauses
+
+(* Step 2: split clauses of length > 3 with fresh chain variables:
+   (l1 | l2 | l3 | l4 | ...) becomes (l1 | l2 | c) & (~c | l3 | l4 | ...),
+   recursively. *)
+let split_long fresh clauses =
+  let rec split clause =
+    match clause with
+    | _ :: _ :: _ :: _ :: _ -> (
+        match clause with
+        | l1 :: l2 :: rest ->
+            let c = fresh () in
+            (l1 :: l2 :: [ Cnf.pos c ]) :: split (Cnf.neg c :: rest)
+        | _ -> assert false)
+    | c -> [ c ]
+  in
+  List.concat_map split clauses
+
+(* Step 3: pad unit clauses. *)
+let pad_units fresh clauses =
+  List.concat_map
+    (fun clause ->
+      match clause with
+      | [ l ] ->
+          let p = fresh () in
+          [ [ l; Cnf.pos p ]; [ l; Cnf.neg p ] ]
+      | c -> [ c ])
+    clauses
+
+(* Step 4: occurrence splitting. *)
+let split_occurrences num_vars clauses =
+  (* Count occurrences per variable. *)
+  let pos_count = Array.make num_vars 0 and neg_count = Array.make num_vars 0 in
+  List.iter
+    (List.iter (fun (l : Cnf.literal) ->
+         if l.Cnf.positive then pos_count.(l.Cnf.var) <- pos_count.(l.Cnf.var) + 1
+         else neg_count.(l.Cnf.var) <- neg_count.(l.Cnf.var) + 1))
+    clauses;
+  let next = ref 0 in
+  let fresh () =
+    let v = !next in
+    incr next;
+    v
+  in
+  let var_map = ref [] in
+  let record v info = var_map := (v, info) :: !var_map in
+  (* Variables within the occurrence budget are kept (renumbered) as-is;
+     the rest get d pairs (a_i, b_i) tied by the implication cycle. *)
+  let a_vars = Array.make num_vars [||] and b_vars = Array.make num_vars [||] in
+  let kept = Array.make num_vars (-1) in
+  let extra = ref [] in
+  for x = 0 to num_vars - 1 do
+    if pos_count.(x) <= 2 && neg_count.(x) <= 1 then begin
+      let v = fresh () in
+      record v (Some (x, true));
+      kept.(x) <- v
+    end
+    else begin
+      let d = max 1 (max pos_count.(x) neg_count.(x)) in
+      let a = Array.init d (fun _ ->
+          let v = fresh () in
+          record v (Some (x, true));
+          v)
+      in
+      let b = Array.init d (fun _ ->
+          let v = fresh () in
+          record v (Some (x, false));
+          v)
+      in
+      a_vars.(x) <- a;
+      b_vars.(x) <- b;
+      for i = 0 to d - 1 do
+        (* a_i -> ~b_i  and  ~b_i -> a_{i+1} *)
+        extra := [ Cnf.neg a.(i); Cnf.neg b.(i) ] :: !extra;
+        extra := [ Cnf.pos b.(i); Cnf.pos a.((i + 1) mod d) ] :: !extra
+      done
+    end
+  done;
+  (* Substitute occurrences. *)
+  let next_pos = Array.make num_vars 0 and next_neg = Array.make num_vars 0 in
+  let substituted =
+    List.map
+      (List.map (fun (l : Cnf.literal) ->
+           if kept.(l.Cnf.var) >= 0 then
+             { l with Cnf.var = kept.(l.Cnf.var) }
+           else if l.Cnf.positive then begin
+             let i = next_pos.(l.Cnf.var) in
+             next_pos.(l.Cnf.var) <- i + 1;
+             Cnf.pos a_vars.(l.Cnf.var).(i)
+           end
+           else begin
+             let i = next_neg.(l.Cnf.var) in
+             next_neg.(l.Cnf.var) <- i + 1;
+             Cnf.pos b_vars.(l.Cnf.var).(i)
+           end))
+      clauses
+  in
+  let total_vars = !next in
+  let var_map_arr = Array.make total_vars None in
+  List.iter (fun (v, info) -> var_map_arr.(v) <- info) !var_map;
+  (substituted @ List.rev !extra, total_vars, var_map_arr)
+
+let run (f : Cnf.t) =
+  let clauses = clean_clauses f.Cnf.clauses in
+  if List.exists (fun c -> c = []) clauses then None
+  else begin
+    (* Fresh variables for steps 2-3 extend the original numbering; step 4
+       renumbers everything anyway. *)
+    let next = ref f.Cnf.num_vars in
+    let fresh () =
+      let v = !next in
+      incr next;
+      v
+    in
+    let clauses = split_long fresh clauses in
+    let clauses = pad_units fresh clauses in
+    let interim_vars = !next in
+    let clauses, total_vars, var_map =
+      split_occurrences interim_vars clauses
+    in
+    (* Auxiliary variables introduced in steps 2-3 have fresh pairs too;
+       remap their entries to None (they do not correspond to original
+       variables). *)
+    let var_map =
+      Array.map
+        (function
+          | Some (x, _) when x >= f.Cnf.num_vars -> None
+          | info -> info)
+        var_map
+    in
+    let formula = Cnf.make ~num_vars:total_vars clauses in
+    assert (Cnf.is_restricted formula);
+    Some { formula; original_vars = f.Cnf.num_vars; var_map }
+  end
+
+let project t model =
+  let out = Array.make t.original_vars false in
+  Array.iteri
+    (fun v info ->
+      match info with
+      | Some (x, true) when v < Array.length model -> out.(x) <- model.(v)
+      | _ -> ())
+    t.var_map;
+  out

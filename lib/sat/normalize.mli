@@ -1,0 +1,36 @@
+(** Transformation into the restricted CNF form used by Theorem 3's
+    reduction: every clause has two or three distinct-variable literals,
+    and each variable occurs at most twice positively and at most once
+    negatively ("a well-known NP-complete version of satisfiability").
+
+    The pipeline is equisatisfiability-preserving:
+
+    + clauses longer than three literals are split with fresh chain
+      variables (the standard 3-SAT conversion);
+    + tautological clauses are dropped and duplicate literals merged;
+    + unit clauses [(l)] become [(l | p) & (l | ~p)] for a fresh [p];
+    + every variable [x] with [p] positive and [q] negative occurrences is
+      replaced by [d = max p q 1] fresh pairs [(a_i, b_i)] — [a_i] standing
+      for [x], [b_i] for [~x] — tied together by the implication cycle
+      [(~a_i | ~b_i) & (b_i | a_{i+1 mod d})], whose only models are
+      "all [a] true, all [b] false" and the reverse. The [i]-th positive
+      occurrence uses [a_i], the [i]-th negative uses [b_i]; each fresh
+      variable then occurs at most twice positively and once negatively. *)
+
+type t = {
+  formula : Cnf.t;  (** The restricted formula. *)
+  original_vars : int;
+  var_map : (int * bool) option array;
+      (** For each fresh variable: [(original, polarity)] — [(x, true)] for
+          an [a]-variable of original [x], [(x, false)] for a [b]-variable —
+          or [None] for auxiliary chain/padding variables. *)
+}
+
+val run : Cnf.t -> t option
+(** [None] when the input contains an empty clause (trivially
+    unsatisfiable — the gadget construction needs at least the restricted
+    shape). The output always satisfies {!Cnf.is_restricted}. *)
+
+val project : t -> bool array -> bool array
+(** Map a model of the restricted formula back to a model of the original
+    ([a]-variables vote for their original variable). *)

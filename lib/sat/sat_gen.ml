@@ -1,0 +1,61 @@
+let random rng ~num_vars ~num_clauses ~max_len =
+  if num_vars <= 0 then invalid_arg "Sat_gen.random: need variables";
+  let clause () =
+    let len = 1 + Random.State.int rng (min max_len num_vars) in
+    let vars = Array.init num_vars Fun.id in
+    for i = num_vars - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let t = vars.(i) in
+      vars.(i) <- vars.(j);
+      vars.(j) <- t
+    done;
+    List.init len (fun i ->
+        if Random.State.bool rng then Cnf.pos vars.(i) else Cnf.neg vars.(i))
+  in
+  Cnf.make ~num_vars (List.init num_clauses (fun _ -> clause ()))
+
+let random_restricted rng ~num_vars ~num_clauses =
+  if num_vars < 3 then invalid_arg "Sat_gen.random_restricted: need >= 3 vars";
+  let pos_budget = Array.make num_vars 2 and neg_budget = Array.make num_vars 1 in
+  let draw_literal used =
+    (* candidate literals with remaining budget on unused variables *)
+    let candidates = ref [] in
+    for v = 0 to num_vars - 1 do
+      if not (List.mem v used) then begin
+        if pos_budget.(v) > 0 then candidates := Cnf.pos v :: !candidates;
+        if neg_budget.(v) > 0 then candidates := Cnf.neg v :: !candidates
+      end
+    done;
+    match !candidates with
+    | [] -> None
+    | cs ->
+        let arr = Array.of_list cs in
+        Some arr.(Random.State.int rng (Array.length arr))
+  in
+  let clauses = ref [] in
+  (try
+     for _ = 1 to num_clauses do
+       let len = 2 + Random.State.int rng 2 in
+       let lits = ref [] and used = ref [] in
+       for _ = 1 to len do
+         match draw_literal !used with
+         | Some l ->
+             lits := l :: !lits;
+             used := l.Cnf.var :: !used
+         | None -> ()
+       done;
+       match !lits with
+       | _ :: _ :: _ as clause ->
+           List.iter
+             (fun (l : Cnf.literal) ->
+               if l.Cnf.positive then
+                 pos_budget.(l.Cnf.var) <- pos_budget.(l.Cnf.var) - 1
+               else neg_budget.(l.Cnf.var) <- neg_budget.(l.Cnf.var) - 1)
+             clause;
+           clauses := clause :: !clauses
+       | _ -> raise Exit (* budgets exhausted *)
+     done
+   with Exit -> ());
+  let f = Cnf.make ~num_vars (List.rev !clauses) in
+  assert (Cnf.is_restricted f || f.Cnf.clauses = []);
+  f

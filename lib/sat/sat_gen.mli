@@ -1,0 +1,10 @@
+(** Random CNF generation for property tests and reduction benchmarks. *)
+
+val random : Random.State.t -> num_vars:int -> num_clauses:int -> max_len:int -> Cnf.t
+(** Clauses of 1..[max_len] distinct-variable literals with random signs. *)
+
+val random_restricted : Random.State.t -> num_vars:int -> num_clauses:int -> Cnf.t
+(** Directly in Theorem 3's restricted form: random 2-3-literal clauses
+    drawn while respecting the per-variable occurrence budget (two
+    positive, one negative). [num_clauses] is an upper bound — generation
+    stops early when budgets run out. *)

@@ -1,0 +1,65 @@
+open Distlock_txn
+open Distlock_graph
+
+type verdict = Serializable of int list | Not_serializable of int list
+
+(* Per (entity, txn): the span of positions at which the transaction
+   accesses the entity — the locked section when one exists, otherwise the
+   bare update positions. *)
+let access_spans sys sched =
+  let spans = Hashtbl.create 32 in
+  (* (entity, txn) -> (first_pos, last_pos) *)
+  List.iteri
+    (fun pos (i, s) ->
+      let step = Txn.step (System.txn sys i) s in
+      let key = (step.Step.entity, i) in
+      match Hashtbl.find_opt spans key with
+      | None -> Hashtbl.replace spans key (pos, pos)
+      | Some (first, _) -> Hashtbl.replace spans key (first, pos))
+    (Schedule.events sched);
+  spans
+
+let graph sys sched =
+  let g = Digraph.create (System.num_txns sys) in
+  let spans = access_spans sys sched in
+  let by_entity = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (e, i) span ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_entity e) in
+      Hashtbl.replace by_entity e ((i, span) :: cur))
+    spans;
+  Hashtbl.iter
+    (fun _e accesses ->
+      let rec pairs = function
+        | [] -> ()
+        | (i, (fi, li)) :: rest ->
+            List.iter
+              (fun (j, (fj, lj)) ->
+                if i <> j then
+                  if li < fj then Digraph.add_arc g i j
+                  else if lj < fi then Digraph.add_arc g j i
+                  else begin
+                    (* Overlapping accesses on the same entity: only
+                       possible in illegal schedules; record both
+                       directions so the cycle is caught. *)
+                    Digraph.add_arc g i j;
+                    Digraph.add_arc g j i
+                  end)
+              rest;
+            pairs rest
+      in
+      pairs accesses)
+    by_entity;
+  g
+
+let check sys sched =
+  let g = graph sys sched in
+  match Topo.sort g with
+  | Some order -> Serializable (Array.to_list order)
+  | None -> (
+      match Topo.find_cycle g with
+      | Some cycle -> Not_serializable cycle
+      | None -> assert false)
+
+let is_serializable sys sched =
+  match check sys sched with Serializable _ -> true | Not_serializable _ -> false

@@ -1,0 +1,30 @@
+open Distlock_txn
+open Distlock_graph
+
+(** Conflict-graph serializability.
+
+    Under the paper's update semantics (every step [update x] reads and
+    rewrites [x]), two accesses of the same entity by different
+    transactions always conflict, so a schedule is serializable iff its
+    transaction conflict digraph is acyclic, and any topological order of
+    that digraph is an equivalent serial schedule.
+
+    For the figures' update-free transactions the *locked section* (from
+    [lock x] to [unlock x]) plays the role of the access: legality makes
+    sections on the same entity disjoint, so sections are totally ordered
+    and induce the conflict arcs. When updates are present they fall inside
+    their sections, so the two views agree on well-formed systems. *)
+
+type verdict =
+  | Serializable of int list
+      (** An equivalent serial order of transaction indices. *)
+  | Not_serializable of int list
+      (** A cycle in the conflict digraph (transaction indices,
+          [t1 -> t2 -> ... -> t1]). *)
+
+val graph : System.t -> Schedule.t -> Digraph.t
+(** The conflict digraph over transaction indices. *)
+
+val check : System.t -> Schedule.t -> verdict
+
+val is_serializable : System.t -> Schedule.t -> bool

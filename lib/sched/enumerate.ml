@@ -1,0 +1,175 @@
+open Distlock_txn
+
+exception Stop
+
+(* Shared stepping machinery: a mutable execution state over the system. *)
+type state = {
+  sys : System.t;
+  indeg : int array array; (* remaining unexecuted predecessors per step *)
+  done_ : bool array array;
+  holder : (Database.entity, int) Hashtbl.t;
+  mutable executed : int;
+  total : int;
+  trace : Schedule.event array;
+}
+
+let init sys =
+  let n = System.num_txns sys in
+  let indeg =
+    Array.init n (fun i ->
+        let txn = System.txn sys i in
+        let k = Txn.num_steps txn in
+        Array.init k (fun s ->
+            let d = ref 0 in
+            for p = 0 to k - 1 do
+              if Txn.precedes txn p s then incr d
+            done;
+            !d))
+  in
+  let done_ =
+    Array.init n (fun i -> Array.make (Txn.num_steps (System.txn sys i)) false)
+  in
+  let total = System.total_steps sys in
+  {
+    sys;
+    indeg;
+    done_;
+    holder = Hashtbl.create 16;
+    executed = 0;
+    total;
+    trace = Array.make total (-1, -1);
+  }
+
+let enabled st i s =
+  (not st.done_.(i).(s))
+  && st.indeg.(i).(s) = 0
+  &&
+  let step = Txn.step (System.txn st.sys i) s in
+  match step.Step.action with
+  | Step.Lock -> not (Hashtbl.mem st.holder step.Step.entity)
+  | Step.Unlock | Step.Update -> true
+
+let apply st i s =
+  let txn = System.txn st.sys i in
+  let step = Txn.step txn s in
+  st.done_.(i).(s) <- true;
+  st.trace.(st.executed) <- (i, s);
+  st.executed <- st.executed + 1;
+  for q = 0 to Txn.num_steps txn - 1 do
+    if Txn.precedes txn s q then st.indeg.(i).(q) <- st.indeg.(i).(q) - 1
+  done;
+  (match step.Step.action with
+  | Step.Lock -> Hashtbl.replace st.holder step.Step.entity i
+  | Step.Unlock -> Hashtbl.remove st.holder step.Step.entity
+  | Step.Update -> ())
+
+let undo st i s =
+  let txn = System.txn st.sys i in
+  let step = Txn.step txn s in
+  st.done_.(i).(s) <- false;
+  st.executed <- st.executed - 1;
+  for q = 0 to Txn.num_steps txn - 1 do
+    if Txn.precedes txn s q then st.indeg.(i).(q) <- st.indeg.(i).(q) + 1
+  done;
+  (match step.Step.action with
+  | Step.Lock -> Hashtbl.remove st.holder step.Step.entity
+  | Step.Unlock -> Hashtbl.replace st.holder step.Step.entity i
+  | Step.Update -> ())
+
+let snapshot st = Schedule.of_events (Array.to_list st.trace)
+
+let iter_legal sys f =
+  let st = init sys in
+  let n = System.num_txns sys in
+  let rec go () =
+    if st.executed = st.total then f (snapshot st)
+    else
+      for i = 0 to n - 1 do
+        let k = Txn.num_steps (System.txn sys i) in
+        for s = 0 to k - 1 do
+          if enabled st i s then begin
+            apply st i s;
+            go ();
+            undo st i s
+          end
+        done
+      done
+  in
+  go ()
+
+let exists_legal sys pred =
+  try
+    iter_legal sys (fun h -> if pred h then raise Stop);
+    false
+  with Stop -> true
+
+let find_legal sys pred =
+  let found = ref None in
+  (try
+     iter_legal sys (fun h ->
+         if pred h then begin
+           found := Some h;
+           raise Stop
+         end)
+   with Stop -> ());
+  !found
+
+let count_legal ?(limit = 10_000_000) sys =
+  let c = ref 0 in
+  iter_legal sys (fun _ ->
+      incr c;
+      if !c > limit then failwith "Enumerate.count_legal: limit exceeded");
+  !c
+
+let random_legal rng ?(max_attempts = 100) sys =
+  let n = System.num_txns sys in
+  let attempt () =
+    let st = init sys in
+    let ok = ref true in
+    while !ok && st.executed < st.total do
+      let avail = ref [] in
+      for i = 0 to n - 1 do
+        let k = Txn.num_steps (System.txn sys i) in
+        for s = 0 to k - 1 do
+          if enabled st i s then avail := (i, s) :: !avail
+        done
+      done;
+      match !avail with
+      | [] -> ok := false (* deadlock *)
+      | choices ->
+          let arr = Array.of_list choices in
+          let i, s = arr.(Random.State.int rng (Array.length arr)) in
+          apply st i s
+    done;
+    if !ok then Some (snapshot st) else None
+  in
+  let rec try_n k = if k = 0 then None else
+      match attempt () with Some h -> Some h | None -> try_n (k - 1)
+  in
+  try_n max_attempts
+
+let has_deadlock sys =
+  let st = init sys in
+  let n = System.num_txns sys in
+  let found = ref false in
+  let rec go () =
+    if not !found then
+      if st.executed = st.total then ()
+      else begin
+        let any = ref false in
+        for i = 0 to n - 1 do
+          let k = Txn.num_steps (System.txn sys i) in
+          for s = 0 to k - 1 do
+            if enabled st i s then begin
+              any := true;
+              apply st i s;
+              go ();
+              undo st i s
+            end
+          done
+        done;
+        if not !any then found := true
+      end
+  in
+  go ();
+  !found

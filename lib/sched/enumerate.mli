@@ -1,0 +1,30 @@
+open Distlock_txn
+
+(** Exhaustive and randomized generation of legal schedules.
+
+    The walk maintains each transaction's ready frontier and a lock table;
+    a step is enabled when its intra-transaction predecessors have run and,
+    for a lock step, the entity is free. Branches that dead-end (a locking
+    deadlock) are abandoned: schedules are total orderings of *all* steps,
+    so deadlocked prefixes are not schedules. *)
+
+val iter_legal : System.t -> (Schedule.t -> unit) -> unit
+(** Every complete legal schedule, each exactly once. Exponential: meant
+    for the brute-force oracle on small systems. *)
+
+val exists_legal : System.t -> (Schedule.t -> bool) -> bool
+
+val find_legal : System.t -> (Schedule.t -> bool) -> Schedule.t option
+
+val count_legal : ?limit:int -> System.t -> int
+(** Raises [Failure] past [limit] (default [10_000_000]). *)
+
+val random_legal :
+  Random.State.t -> ?max_attempts:int -> System.t -> Schedule.t option
+(** A random complete legal schedule via uniform random choice among
+    enabled steps, restarting on deadlock (up to [max_attempts], default
+    [100]). [None] if every attempt deadlocked. *)
+
+val has_deadlock : System.t -> bool
+(** Is some legal *prefix* extendable to no complete schedule — i.e., can
+    the system reach a locking deadlock? (Exhaustive; small systems.) *)

@@ -1,0 +1,68 @@
+open Distlock_txn
+
+type violation =
+  | Order_violated of { txn : int; earlier : int; later : int }
+  | Lock_held of { entity : Database.entity; holder : int; requester : int }
+  | Unlock_not_held of { entity : Database.entity; txn : int }
+  | Incomplete
+
+let check sys sched =
+  let violations = ref [] in
+  let report v = violations := v :: !violations in
+  if not (Schedule.is_complete sys sched) then report Incomplete;
+  (* (a) partial orders respected: within each transaction, the projected
+     sequence must be a linear extension. *)
+  for i = 0 to System.num_txns sys - 1 do
+    let txn = System.txn sys i in
+    let proj = Schedule.project sched i in
+    let seen = Array.make (Txn.num_steps txn) false in
+    Array.iter
+      (fun s ->
+        if s >= 0 && s < Txn.num_steps txn then begin
+          for p = 0 to Txn.num_steps txn - 1 do
+            if Txn.precedes txn p s && not seen.(p) then
+              report (Order_violated { txn = i; earlier = p; later = s })
+          done;
+          seen.(s) <- true
+        end)
+      proj
+  done;
+  (* (b) exclusion: replay the lock table. *)
+  let holder = Hashtbl.create 16 in
+  List.iter
+    (fun (i, s) ->
+      let step = Txn.step (System.txn sys i) s in
+      let e = step.Step.entity in
+      match step.Step.action with
+      | Step.Lock -> (
+          match Hashtbl.find_opt holder e with
+          | Some h when h <> i ->
+              report (Lock_held { entity = e; holder = h; requester = i })
+          | Some _ -> report (Lock_held { entity = e; holder = i; requester = i })
+          | None -> Hashtbl.replace holder e i)
+      | Step.Unlock -> (
+          match Hashtbl.find_opt holder e with
+          | Some h when h = i -> Hashtbl.remove holder e
+          | _ -> report (Unlock_not_held { entity = e; txn = i }))
+      | Step.Update -> ())
+    (Schedule.events sched);
+  List.rev !violations
+
+let is_legal sys sched = check sys sched = []
+
+let to_string sys v =
+  let db = System.db sys in
+  match v with
+  | Order_violated { txn; earlier; later } ->
+      let t = System.txn sys txn in
+      Printf.sprintf "T%d: step %s scheduled before its predecessor %s"
+        (txn + 1)
+        (Step.to_string db (Txn.step t later))
+        (Step.to_string db (Txn.step t earlier))
+  | Lock_held { entity; holder; requester } ->
+      Printf.sprintf "T%d locks %s while T%d still holds it" (requester + 1)
+        (Database.name db entity) (holder + 1)
+  | Unlock_not_held { entity; txn } ->
+      Printf.sprintf "T%d unlocks %s which it does not hold" (txn + 1)
+        (Database.name db entity)
+  | Incomplete -> "schedule is not a permutation of all steps"

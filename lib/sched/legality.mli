@@ -1,0 +1,22 @@
+open Distlock_txn
+
+(** Legality of schedules (Section 2): a schedule must (a) not contradict
+    any transaction's partial order, and (b) separate every two [lock x]
+    steps by an [unlock x] step. *)
+
+type violation =
+  | Order_violated of { txn : int; earlier : int; later : int }
+      (** Step [later] was scheduled before its predecessor [earlier]. *)
+  | Lock_held of { entity : Database.entity; holder : int; requester : int }
+      (** A transaction locked an entity still held by another. *)
+  | Unlock_not_held of { entity : Database.entity; txn : int }
+      (** An unlock of an entity the transaction does not hold. *)
+  | Incomplete
+      (** Not a permutation of all steps (schedules are total orderings of
+          *all* the steps). *)
+
+val check : System.t -> Schedule.t -> violation list
+
+val is_legal : System.t -> Schedule.t -> bool
+
+val to_string : System.t -> violation -> string

@@ -1,0 +1,86 @@
+open Distlock_txn
+
+type event = { tick : int; txn : int; step : int; site : int; attempt : int }
+
+type txn_metrics = {
+  txn : int;
+  attempts : int;
+  first_start : int;
+  commit : int;
+  steps_executed : int;
+  wasted_steps : int;
+}
+
+type site_metrics = { site : int; events : int; busy_span : int }
+
+type report = {
+  events : event list;
+  txns : txn_metrics list;
+  sites : site_metrics list;
+  makespan : int;
+}
+
+let analyze sys events =
+  let n = System.num_txns sys in
+  let per_txn = Array.make n [] in
+  List.iter (fun (e : event) -> per_txn.(e.txn) <- e :: per_txn.(e.txn)) events;
+  let txns =
+    List.init n (fun i ->
+        let evs = List.rev per_txn.(i) in
+        let attempts =
+          List.fold_left (fun m (e : event) -> max m e.attempt) 1 evs
+        in
+        let committed_steps =
+          List.length (List.filter (fun (e : event) -> e.attempt = attempts) evs)
+        in
+        {
+          txn = i;
+          attempts;
+          first_start =
+            (match evs with [] -> 0 | (e : event) :: _ -> e.tick);
+          commit =
+            List.fold_left (fun m (e : event) -> max m e.tick) 0 evs;
+          steps_executed = List.length evs;
+          wasted_steps = List.length evs - committed_steps;
+        })
+  in
+  let site_tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (e : event) ->
+      let lo, hi, k =
+        Option.value ~default:(e.tick, e.tick, 0) (Hashtbl.find_opt site_tbl e.site)
+      in
+      Hashtbl.replace site_tbl e.site (min lo e.tick, max hi e.tick, k + 1))
+    events;
+  let sites =
+    Hashtbl.fold
+      (fun site (lo, hi, k) acc ->
+        { site; events = k; busy_span = hi - lo } :: acc)
+      site_tbl []
+    |> List.sort (fun a b -> compare a.site b.site)
+  in
+  let makespan = List.fold_left (fun m (e : event) -> max m e.tick) 0 events in
+  { events; txns; sites; makespan }
+
+let pp_event sys ppf (e : event) =
+  let txn = System.txn sys e.txn in
+  Format.fprintf ppf "t=%d %s_%d@site%d%s" e.tick
+    (Step.to_string (System.db sys) (Txn.step txn e.step))
+    (e.txn + 1) e.site
+    (if e.attempt > 1 then Printf.sprintf " (attempt %d)" e.attempt else "")
+
+let pp_report sys ppf r =
+  Format.fprintf ppf "@[<v>makespan: %d ticks@," r.makespan;
+  List.iter
+    (fun m ->
+      Format.fprintf ppf
+        "%s: start %d, commit %d, %d attempt(s), %d steps (%d wasted)@,"
+        (Txn.name (System.txn sys m.txn))
+        m.first_start m.commit m.attempts m.steps_executed m.wasted_steps)
+    r.txns;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "site %d: %d events over %d ticks@," s.site s.events
+        s.busy_span)
+    r.sites;
+  Format.fprintf ppf "@]"

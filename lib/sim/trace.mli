@@ -1,0 +1,44 @@
+open Distlock_txn
+
+(** Execution traces and per-transaction metrics for simulator runs.
+
+    The engine optionally records every scheduling decision with its tick;
+    this module turns such logs into per-transaction latency/wait metrics
+    and per-site utilization summaries — the quantities a practitioner
+    would tune a distributed lock manager by. *)
+
+type event = {
+  tick : int;
+  txn : int;
+  step : int;
+  site : int;
+  attempt : int;  (** 1 = first attempt; > 1 after deadlock restarts. *)
+}
+
+type txn_metrics = {
+  txn : int;
+  attempts : int;
+  first_start : int;  (** tick of the first step of the first attempt *)
+  commit : int;  (** tick of the last step of the committed attempt *)
+  steps_executed : int;  (** including aborted attempts' steps *)
+  wasted_steps : int;  (** steps of attempts that were aborted *)
+}
+
+type site_metrics = {
+  site : int;
+  events : int;
+  busy_span : int;  (** last tick minus first tick seen at the site *)
+}
+
+type report = {
+  events : event list;
+  txns : txn_metrics list;
+  sites : site_metrics list;
+  makespan : int;
+}
+
+val analyze : System.t -> event list -> report
+
+val pp_report : System.t -> Format.formatter -> report -> unit
+
+val pp_event : System.t -> Format.formatter -> event -> unit

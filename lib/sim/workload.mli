@@ -1,0 +1,61 @@
+open Distlock_txn
+
+(** Workload construction for the simulator: many concurrent transaction
+    instances over a shared database, in the locking styles the paper
+    contrasts (Section 6). *)
+
+type style =
+  | Two_phase  (** All locks, then updates, then all unlocks. *)
+  | Sequential  (** Lock-update-unlock one entity at a time (unsafe-prone). *)
+  | Random_locked of float
+      (** Random well-formed partial-order transactions
+          ({!Txn_gen.random_txn}) with the given cross-site arc
+          probability. *)
+
+val make :
+  Random.State.t ->
+  db:Database.t ->
+  style:style ->
+  num_txns:int ->
+  entities_per_txn:int ->
+  System.t
+(** Each transaction locks a random subset of the database's entities in
+    the given style. *)
+
+type summary = {
+  runs : int;
+  violations : int;  (** Non-serializable committed histories. *)
+  total_aborts : int;
+  total_deadlocks : int;
+  total_ticks : int;
+}
+
+val measure : ?seeds:int list -> System.t -> summary
+(** Run the engine once per seed and aggregate. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+type throughput = {
+  rounds : int;
+  committed : int;
+  total_ticks : int;
+  commits_per_kilotick : float;
+  violation_rounds : int;
+}
+
+val closed_loop :
+  Random.State.t ->
+  db:Database.t ->
+  style:style ->
+  num_txns:int ->
+  entities_per_txn:int ->
+  rounds:int ->
+  ?cross_site_delay:int ->
+  unit ->
+  throughput
+(** A closed-loop benchmark: [rounds] batches of [num_txns] fresh
+    transactions in the given style are run to completion one after
+    another; throughput is committed transactions per 1000 scheduling
+    ticks. *)
+
+val pp_throughput : Format.formatter -> throughput -> unit

@@ -1,0 +1,111 @@
+open Distlock_order
+
+type action_spec = [ `Lock of string | `Unlock of string | `Update of string ]
+
+let resolve db spec =
+  let entity name =
+    match Database.find db name with
+    | Some e -> Ok e
+    | None -> Error (Printf.sprintf "unknown entity %S" name)
+  in
+  match spec with
+  | `Lock n -> Result.map Step.lock (entity n)
+  | `Unlock n -> Result.map Step.unlock (entity n)
+  | `Update n -> Result.map Step.update (entity n)
+
+let make db ~name ~steps ?(arcs = []) ?(chains = []) () =
+  let ( let* ) = Result.bind in
+  let labels = Array.of_list (List.map fst steps) in
+  let index = Hashtbl.create 16 in
+  let* () =
+    List.fold_left
+      (fun acc (i, l) ->
+        let* () = acc in
+        if Hashtbl.mem index l then Error (Printf.sprintf "duplicate label %S" l)
+        else begin
+          Hashtbl.add index l i;
+          Ok ()
+        end)
+      (Ok ())
+      (List.mapi (fun i (l, _) -> (i, l)) steps)
+  in
+  let* step_array =
+    List.fold_left
+      (fun acc (_, spec) ->
+        let* l = acc in
+        let* s = resolve db spec in
+        Ok (s :: l))
+      (Ok []) steps
+  in
+  let step_array = Array.of_list (List.rev step_array) in
+  let lookup l =
+    match Hashtbl.find_opt index l with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "unknown step label %S" l)
+  in
+  let* arc_list =
+    List.fold_left
+      (fun acc (a, b) ->
+        let* l = acc in
+        let* ia = lookup a in
+        let* ib = lookup b in
+        Ok ((ia, ib) :: l))
+      (Ok []) arcs
+  in
+  let* chain_arcs =
+    List.fold_left
+      (fun acc chain ->
+        let* l = acc in
+        let rec pairs = function
+          | a :: (b :: _ as rest) ->
+              let* tl = pairs rest in
+              let* ia = lookup a in
+              let* ib = lookup b in
+              Ok ((ia, ib) :: tl)
+          | _ -> Ok []
+        in
+        let* ps = pairs chain in
+        Ok (ps @ l))
+      (Ok []) chains
+  in
+  match Poset.of_arcs (Array.length step_array) (arc_list @ chain_arcs) with
+  | None -> Error "cyclic precedence declaration"
+  | Some order -> Ok (Txn.make ~name ~labels ~steps:step_array order)
+
+let make_exn db ~name ~steps ?arcs ?chains () =
+  match make db ~name ~steps ?arcs ?chains () with
+  | Ok t -> t
+  | Error msg -> invalid_arg (Printf.sprintf "Builder.make (%s): %s" name msg)
+
+let auto_label used spec =
+  let base =
+    match spec with
+    | `Lock n -> "L" ^ n
+    | `Unlock n -> "U" ^ n
+    | `Update n -> n
+  in
+  let rec fresh i =
+    let candidate = if i = 0 then base else Printf.sprintf "%s#%d" base i in
+    if Hashtbl.mem used candidate then fresh (i + 1)
+    else begin
+      Hashtbl.add used candidate ();
+      candidate
+    end
+  in
+  fresh 0
+
+let total db ~name specs =
+  let used = Hashtbl.create 16 in
+  let steps = List.map (fun spec -> (auto_label used spec, spec)) specs in
+  let chain = List.map fst steps in
+  make_exn db ~name ~steps ~chains:[ chain ] ()
+
+let locked_sequence db ~name entities =
+  total db ~name
+    (List.concat_map (fun e -> [ `Lock e; `Update e; `Unlock e ]) entities)
+
+let two_phase_sequence db ~name entities =
+  total db ~name
+    (List.map (fun e -> `Lock e) entities
+    @ List.map (fun e -> `Update e) entities
+    @ List.map (fun e -> `Unlock e) entities)

@@ -1,0 +1,44 @@
+(** Ergonomic construction of transactions.
+
+    Steps are declared with string labels and precedences are given by
+    label, either as individual arcs or as chains ([["a";"b";"c"]] meaning
+    [a < b < c]). Entities are referred to by name and must already be
+    registered in the database. *)
+
+type action_spec =
+  [ `Lock of string | `Unlock of string | `Update of string ]
+
+val make :
+  Database.t ->
+  name:string ->
+  steps:(string * action_spec) list ->
+  ?arcs:(string * string) list ->
+  ?chains:string list list ->
+  unit ->
+  (Txn.t, string) result
+(** Builds a transaction. Errors (as [Error msg]) on: duplicate or unknown
+    labels, unknown entities, or a cyclic precedence declaration. The
+    result is not validated against the locking discipline — run
+    {!Validate.check} for that. *)
+
+val make_exn :
+  Database.t ->
+  name:string ->
+  steps:(string * action_spec) list ->
+  ?arcs:(string * string) list ->
+  ?chains:string list list ->
+  unit ->
+  Txn.t
+
+val total : Database.t -> name:string -> action_spec list -> Txn.t
+(** A totally ordered (centralized-style) transaction executing the given
+    actions in sequence; labels are auto-generated from the actions. *)
+
+val locked_sequence : Database.t -> name:string -> string list -> Txn.t
+(** [locked_sequence db ~name ["x"; "y"]] is the totally ordered
+    transaction [Lx x Ux Ly y Uy]: lock, update, unlock each entity in
+    turn. *)
+
+val two_phase_sequence : Database.t -> name:string -> string list -> Txn.t
+(** [Lx Ly ... x y ... Ux Uy ...]: all locks, then all updates, then all
+    unlocks — a canonical two-phase transaction. *)

@@ -1,0 +1,107 @@
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+type block = {
+  name : string;
+  mutable steps : (string * Builder.action_spec) list; (* reversed *)
+  mutable arcs : (string * string) list;
+  mutable chains : string list list;
+}
+
+let system_of_string text =
+  let db = Database.create () in
+  let blocks = ref [] in
+  let current = ref None in
+  let error = ref None in
+  let fail lineno msg =
+    if !error = None then error := Some (Printf.sprintf "line %d: %s" lineno msg)
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      match (tokens line, !current) with
+      | [], _ -> ()
+      | [ "entity"; name; "@"; site ], None -> (
+          match int_of_string_opt site with
+          | Some s when s >= 1 -> (
+              try ignore (Database.add db ~name ~site:s)
+              with Invalid_argument m -> fail lineno m)
+          | _ -> fail lineno "bad site number")
+      | [ "txn"; name; "{" ], None ->
+          current := Some { name; steps = []; arcs = []; chains = [] }
+      | [ "}" ], Some b ->
+          blocks := b :: !blocks;
+          current := None
+      | [ "step"; label; action; entity ], Some b -> (
+          let spec =
+            match action with
+            | "lock" -> Some (`Lock entity)
+            | "unlock" -> Some (`Unlock entity)
+            | "update" -> Some (`Update entity)
+            | _ -> None
+          in
+          match spec with
+          | Some spec -> b.steps <- (label, spec) :: b.steps
+          | None -> fail lineno ("unknown action " ^ action))
+      | [ "arc"; a; "->"; c ], Some b -> b.arcs <- (a, c) :: b.arcs
+      | "chain" :: (_ :: _ :: _ as labels), Some b ->
+          b.chains <- labels :: b.chains
+      | tok :: _, _ -> fail lineno ("unexpected token " ^ tok))
+    lines;
+  if !current <> None then
+    (if !error = None then error := Some "unterminated txn block");
+  match !error with
+  | Some msg -> Error msg
+  | None -> (
+      let build b =
+        Builder.make db ~name:b.name ~steps:(List.rev b.steps)
+          ~arcs:(List.rev b.arcs) ~chains:(List.rev b.chains) ()
+      in
+      let rec build_all acc = function
+        | [] -> Ok (List.rev acc)
+        | b :: rest -> (
+            match build b with
+            | Ok t -> build_all (t :: acc) rest
+            | Error m -> Error (Printf.sprintf "txn %s: %s" b.name m))
+      in
+      match build_all [] (List.rev !blocks) with
+      | Error m -> Error m
+      | Ok [] -> Error "no transactions"
+      | Ok txns -> (
+          try Ok (System.make db txns) with Invalid_argument m -> Error m))
+
+let system_to_string sys =
+  let db = System.db sys in
+  let buf = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun e -> pf "entity %s @ %d\n" (Database.name db e) (Database.site db e))
+    (Database.entities db);
+  Array.iter
+    (fun txn ->
+      pf "\ntxn %s {\n" (Txn.name txn);
+      for i = 0 to Txn.num_steps txn - 1 do
+        let s = Txn.step txn i in
+        let action =
+          match s.Step.action with
+          | Step.Lock -> "lock"
+          | Step.Unlock -> "unlock"
+          | Step.Update -> "update"
+        in
+        pf "  step %s %s %s\n" (Txn.label txn i) action
+          (Database.name db s.Step.entity)
+      done;
+      List.iter
+        (fun (a, b) -> pf "  arc %s -> %s\n" (Txn.label txn a) (Txn.label txn b))
+        (Distlock_order.Poset.covers (Txn.order txn));
+      pf "}\n")
+    (System.txns sys);
+  Buffer.contents buf

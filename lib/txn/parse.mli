@@ -1,0 +1,32 @@
+(** A small text format for transaction systems, used by the CLI and for
+    fixtures. Example:
+
+    {v
+    # Fig 1-style system
+    entity x @ 1
+    entity z @ 2
+
+    txn T1 {
+      step Lx lock x
+      step ux update x
+      step Ux unlock x
+      chain Lx ux Ux
+    }
+
+    txn T2 {
+      step a lock x
+      step b unlock x
+      arc a -> b
+    }
+    v}
+
+    Lines are [entity <name> @ <site>], or inside a [txn <name> { ... }]
+    block: [step <label> (lock|unlock|update) <entity>],
+    [arc <label> -> <label>], [chain <label> <label> ...]. [#] starts a
+    comment. *)
+
+val system_of_string : string -> (System.t, string) result
+
+val system_to_string : System.t -> string
+(** Round-trips through {!system_of_string} (labels are preserved; the
+    emitted precedences are the covering relation). *)

@@ -1,0 +1,32 @@
+let site_columns db txn =
+  let sites =
+    List.sort_uniq compare
+      (List.map (Database.site db) (Txn.touched_entities txn))
+  in
+  let width = 9 in
+  let buf = Buffer.create 256 in
+  let pad s = Printf.sprintf "%-*s" width s in
+  Buffer.add_string buf (pad (Txn.name txn));
+  List.iter
+    (fun s -> Buffer.add_string buf (pad (Printf.sprintf "site %d" s)))
+    sites;
+  Buffer.add_char buf '\n';
+  let ext = Distlock_order.Poset.linearize (Txn.order txn) in
+  Array.iter
+    (fun i ->
+      let step = Txn.step txn i in
+      let site = Database.site db step.Step.entity in
+      Buffer.add_string buf (pad "");
+      List.iter
+        (fun s ->
+          Buffer.add_string buf
+            (pad (if s = site then Step.to_string db step else "")))
+        sites;
+      Buffer.add_char buf '\n')
+    ext;
+  Buffer.contents buf
+
+let system sys =
+  let db = System.db sys in
+  String.concat "\n"
+    (Array.to_list (Array.map (site_columns db) (System.txns sys)))

@@ -1,0 +1,20 @@
+(** Figure-style rendering of transactions: one column per site, steps
+    top-to-bottom along a linear extension — the layout the paper's own
+    figures use. *)
+
+val site_columns : Database.t -> Txn.t -> string
+(** E.g. for Fig 1's [T1]:
+
+    {v
+    T1           site 1   site 2
+                 Lx
+                 x
+                 Ly
+                 ...      Lw
+    v}
+
+    Steps are placed on separate rows in the order of a default linear
+    extension; each step appears in its entity's site column. *)
+
+val system : System.t -> string
+(** All transactions of a system, side by side vertically. *)

@@ -1,0 +1,55 @@
+type t = { db : Database.t; txns : Txn.t array }
+
+let make db txns =
+  if txns = [] then invalid_arg "System.make: no transactions";
+  let names = List.map Txn.name txns in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "System.make: duplicate transaction names";
+  { db; txns = Array.of_list txns }
+
+let db t = t.db
+
+let txns t = Array.copy t.txns
+
+let num_txns t = Array.length t.txns
+
+let txn t i = t.txns.(i)
+
+let total_steps t =
+  Array.fold_left (fun acc txn -> acc + Txn.num_steps txn) 0 t.txns
+
+let pair t =
+  if Array.length t.txns <> 2 then
+    invalid_arg "System.pair: not a two-transaction system";
+  (t.txns.(0), t.txns.(1))
+
+let common_locked t i j =
+  let a = Txn.locked_entities t.txns.(i) in
+  let b = Txn.locked_entities t.txns.(j) in
+  List.filter (fun e -> List.mem e b) a
+
+let validate ?strict t =
+  Array.fold_left
+    (fun acc txn ->
+      acc @ List.map (fun v -> (txn, v)) (Validate.check ?strict t.db txn))
+    [] t.txns
+
+let validate_exn ?strict t =
+  Array.iter (Validate.check_exn ?strict t.db) t.txns
+
+let sites_used t =
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun txn ->
+      List.iter
+        (fun e ->
+          let s = Database.site t.db e in
+          if not (Hashtbl.mem seen s) then Hashtbl.add seen s ())
+        (Txn.touched_entities txn))
+    t.txns;
+  List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) seen [])
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@,%a@]" Database.pp t.db
+    (Format.pp_print_list (Txn.pp t.db))
+    (Array.to_list t.txns)

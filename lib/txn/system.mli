@@ -1,0 +1,37 @@
+(** A locked transaction system [T = {T1, ..., Tr}] over one database. *)
+
+type t
+
+val make : Database.t -> Txn.t list -> t
+(** Raises [Invalid_argument] on an empty transaction list or duplicate
+    transaction names. *)
+
+val db : t -> Database.t
+
+val txns : t -> Txn.t array
+(** A copy. *)
+
+val num_txns : t -> int
+
+val txn : t -> int -> Txn.t
+
+val total_steps : t -> int
+(** The paper's [n]: steps summed over all transactions. *)
+
+val pair : t -> Txn.t * Txn.t
+(** The two transactions of a two-transaction system; raises
+    [Invalid_argument] otherwise. *)
+
+val common_locked : t -> int -> int -> Database.entity list
+(** Entities locked-unlocked by both of two transactions — the vertex set
+    of [D(Ti,Tj)] (Definition 1). *)
+
+val validate : ?strict:bool -> t -> (Txn.t * Validate.violation) list
+(** All violations across all transactions. *)
+
+val validate_exn : ?strict:bool -> t -> unit
+
+val sites_used : t -> int list
+(** Sites actually storing some entity touched by some transaction. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,136 @@
+open Distlock_order
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
+
+(* Random topological order of the per-entity L < u < U constraints:
+   a random-available Kahn walk. *)
+let random_base_order rng constraints n =
+  let g = Distlock_graph.Digraph.of_arcs n constraints in
+  let indeg = Array.init n (Distlock_graph.Digraph.in_degree g) in
+  let placed = Array.make n false in
+  let order = Array.make n (-1) in
+  for depth = 0 to n - 1 do
+    let avail = ref [] in
+    for v = 0 to n - 1 do
+      if (not placed.(v)) && indeg.(v) = 0 then avail := v :: !avail
+    done;
+    let choices = Array.of_list !avail in
+    let v = choices.(Random.State.int rng (Array.length choices)) in
+    placed.(v) <- true;
+    order.(depth) <- v;
+    Distlock_graph.Digraph.iter_succ g v (fun w -> indeg.(w) <- indeg.(w) - 1)
+  done;
+  order
+
+let random_txn rng db ~name ~entities ?(with_updates = false)
+    ?(cross_prob = 0.3) () =
+  let entities = Array.of_list entities in
+  shuffle rng entities;
+  let steps = ref [] and constraints = ref [] and labels = ref [] in
+  let n = ref 0 in
+  let push step label =
+    steps := step :: !steps;
+    labels := label :: !labels;
+    incr n;
+    !n - 1
+  in
+  Array.iter
+    (fun e ->
+      let en = Database.name db e in
+      let l = push (Step.lock e) ("L" ^ en) in
+      let mid =
+        if with_updates then Some (push (Step.update e) en) else None
+      in
+      let u = push (Step.unlock e) ("U" ^ en) in
+      match mid with
+      | Some m -> constraints := (l, m) :: (m, u) :: !constraints
+      | None -> constraints := (l, u) :: !constraints)
+    entities;
+  let n = !n in
+  let steps = Array.of_list (List.rev !steps) in
+  let labels = Array.of_list (List.rev !labels) in
+  let base = random_base_order rng !constraints n in
+  let site_of i = Database.site db steps.(i).Step.entity in
+  let arcs = ref [] in
+  (* Per-site chains along the base order. *)
+  let last_at_site = Hashtbl.create 8 in
+  Array.iter
+    (fun i ->
+      let s = site_of i in
+      (match Hashtbl.find_opt last_at_site s with
+      | Some prev -> arcs := (prev, i) :: !arcs
+      | None -> ());
+      Hashtbl.replace last_at_site s i)
+    base;
+  (* Per-entity L < (u <) U (same-site, hence already chained, but keep the
+     explicit arcs for robustness with single-entity sites). *)
+  arcs := !constraints @ !arcs;
+  (* Random cross-site precedences drawn from the base order. *)
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      let i = base.(a) and j = base.(b) in
+      if site_of i <> site_of j && Random.State.float rng 1.0 < cross_prob then
+        arcs := (i, j) :: !arcs
+    done
+  done;
+  let order =
+    match Poset.of_arcs n !arcs with Some p -> p | None -> assert false
+  in
+  Txn.make ~name ~labels ~steps order
+
+let random_database rng ~num_entities ~num_sites =
+  if num_entities < num_sites then
+    invalid_arg "Txn_gen.random_database: fewer entities than sites";
+  let db = Database.create () in
+  let sites = Array.init num_entities (fun i ->
+      if i < num_sites then i + 1 else 1 + Random.State.int rng num_sites)
+  in
+  shuffle rng sites;
+  Array.iteri
+    (fun i site -> ignore (Database.add db ~name:(Printf.sprintf "e%d" i) ~site))
+    sites;
+  db
+
+let random_pair_system rng ~num_shared ~num_private ~num_sites ?with_updates
+    ?cross_prob () =
+  let total = num_shared + (2 * num_private) in
+  let db = random_database rng ~num_entities:(max total num_sites) ~num_sites in
+  let all = Array.of_list (Database.entities db) in
+  shuffle rng all;
+  let slice off len = Array.to_list (Array.sub all off len) in
+  let shared = slice 0 num_shared in
+  let private1 = slice num_shared num_private in
+  let private2 = slice (num_shared + num_private) num_private in
+  let t1 =
+    random_txn rng db ~name:"T1" ~entities:(shared @ private1) ?with_updates
+      ?cross_prob ()
+  in
+  let t2 =
+    random_txn rng db ~name:"T2" ~entities:(shared @ private2) ?with_updates
+      ?cross_prob ()
+  in
+  System.make db [ t1; t2 ]
+
+let random_multi_system rng ~num_txns ~num_entities ~entities_per_txn
+    ~num_sites ?with_updates ?cross_prob () =
+  if entities_per_txn > num_entities then
+    invalid_arg "Txn_gen.random_multi_system: entities_per_txn > num_entities";
+  let db =
+    random_database rng ~num_entities:(max num_entities num_sites) ~num_sites
+  in
+  let all = Array.of_list (Database.entities db) in
+  let txns =
+    List.init num_txns (fun k ->
+        shuffle rng all;
+        let entities = Array.to_list (Array.sub all 0 entities_per_txn) in
+        random_txn rng db
+          ~name:(Printf.sprintf "T%d" (k + 1))
+          ~entities ?with_updates ?cross_prob ())
+  in
+  System.make db txns

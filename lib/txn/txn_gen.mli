@@ -1,0 +1,56 @@
+(** Random generation of well-formed distributed locked transactions and
+    systems, for property tests and benchmark workloads.
+
+    The generator first draws a random *global* linear order of all steps
+    (respecting [Lx < update x < Ux] for every entity), then keeps its
+    per-site projections as chains (guaranteeing the paper's per-site
+    totality) plus a random subset of the cross-site pairs as explicit
+    precedences. Every generated transaction is therefore well-formed by
+    construction, and totally ordered when [cross_prob = 1.0]. *)
+
+val random_txn :
+  Random.State.t ->
+  Database.t ->
+  name:string ->
+  entities:Database.entity list ->
+  ?with_updates:bool ->
+  ?cross_prob:float ->
+  unit ->
+  Txn.t
+(** [entities] are the entities the transaction locks (in a random order of
+    access). [with_updates] (default [false], matching the paper's figures)
+    inserts an update between each pair. [cross_prob] (default [0.3]) is
+    the probability of retaining each cross-site precedence from the base
+    linear order. *)
+
+val random_database :
+  Random.State.t -> num_entities:int -> num_sites:int -> Database.t
+(** Entities [e0 ... e{n-1}] assigned to sites so that every site
+    [1..num_sites] is used at least once (requires
+    [num_entities >= num_sites]). *)
+
+val random_pair_system :
+  Random.State.t ->
+  num_shared:int ->
+  num_private:int ->
+  num_sites:int ->
+  ?with_updates:bool ->
+  ?cross_prob:float ->
+  unit ->
+  System.t
+(** A two-transaction system where both transactions lock the [num_shared]
+    shared entities and each additionally locks [num_private] entities of
+    its own. *)
+
+val random_multi_system :
+  Random.State.t ->
+  num_txns:int ->
+  num_entities:int ->
+  entities_per_txn:int ->
+  num_sites:int ->
+  ?with_updates:bool ->
+  ?cross_prob:float ->
+  unit ->
+  System.t
+(** [num_txns] transactions each locking a random [entities_per_txn]-subset
+    of the entity pool. *)

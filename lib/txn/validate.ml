@@ -1,0 +1,108 @@
+type violation =
+  | Site_not_total of { site : int; step_a : int; step_b : int }
+  | Duplicate_lock of { entity : Database.entity; steps : int list }
+  | Duplicate_unlock of { entity : Database.entity; steps : int list }
+  | Lock_without_unlock of { entity : Database.entity; lock : int }
+  | Unlock_without_lock of { entity : Database.entity; unlock : int }
+  | Unlock_not_after_lock of {
+      entity : Database.entity;
+      lock : int;
+      unlock : int;
+    }
+  | Update_outside_section of { entity : Database.entity; update : int }
+  | Update_without_lock of { entity : Database.entity; update : int }
+  | Empty_section of { entity : Database.entity }
+
+let steps_of_kind t e kind =
+  let acc = ref [] in
+  for i = Txn.num_steps t - 1 downto 0 do
+    let s = Txn.step t i in
+    if s.Step.entity = e && s.Step.action = kind then acc := i :: !acc
+  done;
+  !acc
+
+let check ?(strict = false) db t =
+  let violations = ref [] in
+  let report v = violations := v :: !violations in
+  (* Per-site totality. *)
+  for site = 1 to Database.num_sites db do
+    let at_site = Txn.steps_at_site t db site in
+    let rec pairs = function
+      | [] -> ()
+      | a :: rest ->
+          List.iter
+            (fun b ->
+              if Txn.concurrent t a b then
+                report (Site_not_total { site; step_a = a; step_b = b }))
+            rest;
+          pairs rest
+    in
+    pairs at_site
+  done;
+  (* Lock discipline per entity. *)
+  List.iter
+    (fun e ->
+      let locks = steps_of_kind t e Step.Lock in
+      let unlocks = steps_of_kind t e Step.Unlock in
+      let updates = steps_of_kind t e Step.Update in
+      (match locks with
+      | _ :: _ :: _ -> report (Duplicate_lock { entity = e; steps = locks })
+      | _ -> ());
+      (match unlocks with
+      | _ :: _ :: _ -> report (Duplicate_unlock { entity = e; steps = unlocks })
+      | _ -> ());
+      match (locks, unlocks) with
+      | [], [] ->
+          List.iter
+            (fun u -> report (Update_without_lock { entity = e; update = u }))
+            updates
+      | l :: _, [] -> report (Lock_without_unlock { entity = e; lock = l })
+      | [], u :: _ -> report (Unlock_without_lock { entity = e; unlock = u })
+      | l :: _, u :: _ ->
+          if not (Txn.precedes t l u) then
+            report (Unlock_not_after_lock { entity = e; lock = l; unlock = u });
+          List.iter
+            (fun up ->
+              if not (Txn.precedes t l up && Txn.precedes t up u) then
+                report (Update_outside_section { entity = e; update = up }))
+            updates;
+          if strict && updates = [] then report (Empty_section { entity = e }))
+    (Txn.touched_entities t);
+  List.rev !violations
+
+let to_string db t v =
+  let ename e = Database.name db e in
+  let sname i = Txn.label t i in
+  match v with
+  | Site_not_total { site; step_a; step_b } ->
+      Printf.sprintf "steps %s and %s at site %d are not ordered" (sname step_a)
+        (sname step_b) site
+  | Duplicate_lock { entity; _ } ->
+      Printf.sprintf "more than one lock step for %s" (ename entity)
+  | Duplicate_unlock { entity; _ } ->
+      Printf.sprintf "more than one unlock step for %s" (ename entity)
+  | Lock_without_unlock { entity; _ } ->
+      Printf.sprintf "lock %s has no matching unlock" (ename entity)
+  | Unlock_without_lock { entity; _ } ->
+      Printf.sprintf "unlock %s has no matching lock" (ename entity)
+  | Unlock_not_after_lock { entity; _ } ->
+      Printf.sprintf "unlock %s does not follow lock %s" (ename entity)
+        (ename entity)
+  | Update_outside_section { entity; update } ->
+      Printf.sprintf "update step %s of %s is not inside its locked section"
+        (sname update) (ename entity)
+  | Update_without_lock { entity; update } ->
+      Printf.sprintf "update step %s of %s is not protected by a lock"
+        (sname update) (ename entity)
+  | Empty_section { entity } ->
+      Printf.sprintf "lock/unlock pair for %s surrounds no update"
+        (ename entity)
+
+let check_exn ?strict db t =
+  match check ?strict db t with
+  | [] -> ()
+  | vs ->
+      let msgs = List.map (to_string db t) vs in
+      invalid_arg
+        (Printf.sprintf "transaction %s is not well-formed: %s" (Txn.name t)
+           (String.concat "; " msgs))

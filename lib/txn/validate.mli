@@ -1,0 +1,37 @@
+(** Well-formedness of locked transactions, per the paper's Section 2
+    assumptions:
+
+    - steps on entities stored at the same site are totally ordered;
+    - at most one [lock x]/[unlock x] pair per entity, the lock preceding
+      the unlock, and neither appearing without the other;
+    - every [update x] lies strictly between the pair;
+    - ([`Strict] only) each pair surrounds at least one update. The paper
+      itself drops update steps in its figures ("we omit the update steps,
+      as they do not affect safety"), so the relaxed level is the default
+      for analysis inputs. *)
+
+type violation =
+  | Site_not_total of { site : int; step_a : int; step_b : int }
+      (** Two same-site steps are concurrent. *)
+  | Duplicate_lock of { entity : Database.entity; steps : int list }
+  | Duplicate_unlock of { entity : Database.entity; steps : int list }
+  | Lock_without_unlock of { entity : Database.entity; lock : int }
+  | Unlock_without_lock of { entity : Database.entity; unlock : int }
+  | Unlock_not_after_lock of {
+      entity : Database.entity;
+      lock : int;
+      unlock : int;
+    }
+  | Update_outside_section of { entity : Database.entity; update : int }
+      (** An update not strictly between the entity's lock and unlock. *)
+  | Update_without_lock of { entity : Database.entity; update : int }
+  | Empty_section of { entity : Database.entity }
+      (** Strict mode: a lock/unlock pair with no update in between. *)
+
+val check : ?strict:bool -> Database.t -> Txn.t -> violation list
+(** Empty list = well-formed. [strict] defaults to [false]. *)
+
+val check_exn : ?strict:bool -> Database.t -> Txn.t -> unit
+(** Raises [Invalid_argument] with a rendered report on violation. *)
+
+val to_string : Database.t -> Txn.t -> violation -> string

@@ -1,0 +1,52 @@
+Every example runs to completion and reaches its headline conclusions.
+(Outputs are seeded, so the grep'd lines are deterministic.)
+
+  $ ../../examples/quickstart.exe | grep -E "(UNSAFE|SAFE \(D|non-serial)" | head -3
+  system is UNSAFE; certificate:
+  non-serializable schedule:
+  system is SAFE (D is complete: true)
+
+  $ ../../examples/figure_gallery.exe | grep -E "^(verdict|oracle|pictures)" 
+  verdict: UNSAFE
+  oracle (Lemma 1 over all pictures): UNSAFE
+  oracle (Lemma 1 over all pictures): UNSAFE
+  verdict: UNSAFE
+  pictures: 169 safe, 56 unsafe — safety is a property of ALL pictures
+  verdict: SAFE — Lemma 1: exhaustive check of all extension pairs
+  oracle (Lemma 1 over all pictures): SAFE
+
+  $ ../../examples/banking.exe | grep -E "^(Theorem 2|simulator)"
+  Theorem 2: UNSAFE
+  simulator: 54% of 100 random runs non-serializable
+  Theorem 2: UNSAFE
+  simulator: 100% of 100 random runs non-serializable
+  Theorem 2: SAFE
+  simulator: 0% of 100 random runs non-serializable
+
+  $ ../../examples/sat_to_txn.exe | grep -E "^(DPLL|locking)"
+  DPLL: SATISFIABLE
+  locking: UNSAFE — dominator decodes to assignment [1;1;1]
+  DPLL: UNSATISFIABLE
+  locking: SAFE — hence unsatisfiable
+  DPLL: false, via locking: false (both should be false)
+
+  $ ../../examples/inventory.exe | grep -E "^(Proposition|oracle: (SAFE|UNSAFE))"
+  Proposition 2: UNSAFE — cycle restock->fulfil->reconcile has acyclic B_c
+  oracle: UNSAFE, e.g.
+  Proposition 2: UNSAFE — cycle restock->fulfil->reconcile has acyclic B_c
+  oracle: UNSAFE, e.g.
+  Proposition 2: SAFE
+  oracle: SAFE
+
+  $ ../../examples/protocols.exe | grep -E "(follows tree|Theorem 2: SAFE|after: safe|deadlock possible)"
+  follows tree protocol: true, two-phase: false
+  Theorem 2: SAFE (despite early release)
+  after: safe = true, 4 precedence(s) inserted:
+  opposite lock orders: safe = true, deadlock possible = true
+  same lock orders:    safe = true, deadlock possible = false
+
+  $ ../../examples/read_mostly.exe | grep -E "^(conflicting|two-site)"
+  conflicting entities: {catalog, orders}
+  two-site test: UNSAFE
+  conflicting entities: {orders}
+  two-site test: SAFE

@@ -1,0 +1,258 @@
+open Distlock_txn
+open Distlock_sched
+open Distlock_geometry
+
+let mkdb entities =
+  let db = Database.create () in
+  Database.add_all db entities;
+  db
+
+(* The Fig 2 plane: t1 = Lx Ly x y Ux Uy Lz z Uz. *)
+let fig2 () = Distlock_core.Figures.fig2 ()
+
+let test_rect_overlap () =
+  let r1 = { Rect.entity = 0; x_lock = 1; x_unlock = 5; y_lock = 1; y_unlock = 5 } in
+  let r2 = { Rect.entity = 1; x_lock = 3; x_unlock = 7; y_lock = 3; y_unlock = 7 } in
+  let r3 = { Rect.entity = 2; x_lock = 6; x_unlock = 8; y_lock = 1; y_unlock = 2 } in
+  Util.check "overlap" true (Rect.overlaps r1 r2);
+  Util.check "no overlap" false (Rect.overlaps r1 r3)
+
+let test_plane_fig2 () =
+  let sys = fig2 () in
+  let plane = Plane.make sys in
+  Util.check_int "width" 9 (Plane.width plane);
+  Util.check_int "height" 9 (Plane.height plane);
+  Util.check_int "rectangles" 3 (List.length (Plane.rectangles plane));
+  let db = System.db sys in
+  let rx = Option.get (Plane.rectangle plane (Database.id_exn db "x")) in
+  (* t1 = Lx Ly x y Ux Uy Lz z Uz: Lx at 1, Ux at 5 *)
+  Util.check_int "x rect left" 1 rx.Rect.x_lock;
+  Util.check_int "x rect right" 5 rx.Rect.x_unlock;
+  (* t2 = Lz z Uz Ly y Uy Lx x Ux: Lx at 7, Ux at 9 *)
+  Util.check_int "x rect bottom" 7 rx.Rect.y_lock;
+  Util.check_int "x rect top" 9 rx.Rect.y_unlock
+
+let test_path_roundtrip () =
+  let sys = fig2 () in
+  let plane = Plane.make sys in
+  let moves =
+    List.init 18 (fun i -> i mod 2 = 1) (* alternate right/up *)
+  in
+  let h = Schedule.of_events (Schedule.events (Plane.schedule_of_path plane moves)) in
+  Alcotest.(check (list bool)) "roundtrip" moves (Plane.path_of_schedule plane h)
+
+let test_b_vector_serial () =
+  let sys = fig2 () in
+  let plane = Plane.make sys in
+  (* t1 fully first: every section of t1 precedes t2's -> all b = 0 *)
+  let h = Schedule.serial sys [ 0; 1 ] in
+  Util.check "all below" true
+    (List.for_all (fun (_, b) -> not b) (Plane.b_vector plane h));
+  let h2 = Schedule.serial sys [ 1; 0 ] in
+  Util.check "all above" true (List.for_all snd (Plane.b_vector plane h2));
+  Util.check "serial separates nothing" true (Plane.separates plane h = None)
+
+let test_separation_fig2 () =
+  let sys = fig2 () in
+  let plane = Plane.make sys in
+  match Separation.decide plane with
+  | Separation.Safe -> Alcotest.fail "fig2 must be unsafe"
+  | Separation.Unsafe { schedule; below; above } ->
+      Util.check "legal" true (Legality.is_legal sys schedule);
+      Util.check "non-serializable" false (Conflict.is_serializable sys schedule);
+      Util.check "separates" true (below <> [] && above <> []);
+      Util.check "witness in plane" true (Plane.separates plane schedule <> None)
+
+let test_interlock_fig2 () =
+  let sys = fig2 () in
+  let plane = Plane.make sys in
+  let g, ents = Separation.interlock plane in
+  let db = System.db sys in
+  let idx name =
+    let e = Database.id_exn db name in
+    let rec go i = if ents.(i) = e then i else go (i + 1) in
+    go 0
+  in
+  (* (x,z): Lx <1 Uz (1 < 9) and Lz <2 Ux (1 < 9): arc *)
+  Util.check "x->z" true (Distlock_graph.Digraph.mem_arc g (idx "x") (idx "z"));
+  (* (z,x): Lz <1 Ux (7 < 5 false): no arc *)
+  Util.check "no z->x" false (Distlock_graph.Digraph.mem_arc g (idx "z") (idx "x"))
+
+let test_safe_pair () =
+  (* Two transactions locking x and y in the same order: 2PL-like and safe. *)
+  let db = mkdb [ ("x", 1); ("y", 1) ] in
+  let t1 = Builder.two_phase_sequence db ~name:"T1" [ "x"; "y" ] in
+  let t2 = Builder.two_phase_sequence db ~name:"T2" [ "x"; "y" ] in
+  let sys = System.make db [ t1; t2 ] in
+  let plane = Plane.make sys in
+  Util.check "safe" true (Separation.is_safe plane)
+
+let test_realize_orientations () =
+  let sys = fig2 () in
+  let plane = Plane.make sys in
+  let db = System.db sys in
+  let x = Database.id_exn db "x" and z = Database.id_exn db "z" in
+  (* b_x = 0, b_z = 1 is realizable (the separating picture) *)
+  (match Separation.realize plane ~above:(fun e -> e = z) with
+  | Some h ->
+      let bv = Plane.b_vector plane h in
+      Util.check "b_x below" true (List.assoc x bv = false);
+      Util.check "b_z above" true (List.assoc z bv = true)
+  | None -> Alcotest.fail "expected realizable");
+  (* b_x = 1, b_z = 0 is NOT realizable: the arc (x,z) forces b_x <= b_z *)
+  Util.check "forbidden orientation" true
+    (Separation.realize plane ~above:(fun e -> e = x) = None)
+
+(* The key semantic property: for a pair of total orders, Separation.decide
+   says Safe iff every legal schedule is conflict-serializable. *)
+let qcheck_decide_vs_enumeration =
+  Util.qtest ~count:60 "Proposition 1 test matches schedule enumeration"
+    (Util.gen_with_state (fun st ->
+         Txn_gen.random_pair_system st ~num_shared:(2 + Random.State.int st 2)
+           ~num_private:(Random.State.int st 2)
+           ~num_sites:(1 + Random.State.int st 3) ~cross_prob:1.0 ()))
+    (fun sys ->
+      let plane = Plane.make sys in
+      let geometric = Separation.is_safe plane in
+      let exhaustive =
+        not
+          (Distlock_sched.Enumerate.exists_legal sys (fun h ->
+               not (Conflict.is_serializable sys h)))
+      in
+      geometric = exhaustive)
+
+let qcheck_unsafe_witness_valid =
+  Util.qtest ~count:80 "every Unsafe verdict carries a valid witness"
+    (Util.gen_with_state (fun st ->
+         Txn_gen.random_pair_system st ~num_shared:(2 + Random.State.int st 3)
+           ~num_private:(Random.State.int st 2)
+           ~num_sites:(1 + Random.State.int st 3) ~cross_prob:1.0 ()))
+    (fun sys ->
+      let plane = Plane.make sys in
+      match Separation.decide plane with
+      | Separation.Safe -> true
+      | Separation.Unsafe { schedule; _ } ->
+          Legality.is_legal sys schedule
+          && not (Conflict.is_serializable sys schedule))
+
+let qcheck_b_vector_monotone =
+  Util.qtest ~count:60 "b-vectors respect the interlock arcs (Theorem 1 invariant)"
+    (Util.gen_with_state (fun st ->
+         ( Txn_gen.random_pair_system st ~num_shared:3 ~num_private:0
+             ~num_sites:2 ~cross_prob:1.0 (),
+           st )))
+    (fun (sys, st) ->
+      let plane = Plane.make sys in
+      match Distlock_sched.Enumerate.random_legal st sys with
+      | None -> true
+      | Some h ->
+          let bv = Plane.b_vector plane h in
+          let g, ents = Separation.interlock plane in
+          let ok = ref true in
+          Distlock_graph.Digraph.iter_arcs g (fun a b ->
+              let ba = List.assoc ents.(a) bv and bb = List.assoc ents.(b) bv in
+              if ba && not bb then ok := false);
+          !ok)
+
+let qcheck_fast_test_agrees =
+  Util.qtest ~count:120 "arc-compressed test agrees with the naive interlock"
+    (Util.gen_with_state (fun st ->
+         (* synthetic rectangles: random lock/unlock nestings on each axis *)
+         let k = 2 + Random.State.int st 14 in
+         let axis () =
+           let slots = Array.init (2 * k) (fun i -> i mod k) in
+           for i = (2 * k) - 1 downto 1 do
+             let j = Random.State.int st (i + 1) in
+             let t = slots.(i) in
+             slots.(i) <- slots.(j);
+             slots.(j) <- t
+           done;
+           let l = Array.make k 0 and u = Array.make k 0 in
+           let seen = Array.make k false in
+           Array.iteri
+             (fun pos e ->
+               if seen.(e) then u.(e) <- pos + 1
+               else begin
+                 seen.(e) <- true;
+                 l.(e) <- pos + 1
+               end)
+             slots;
+           (l, u)
+         in
+         let l1, u1 = axis () and l2, u2 = axis () in
+         List.init k (fun e ->
+             {
+               Rect.entity = e;
+               x_lock = l1.(e);
+               x_unlock = u1.(e);
+               y_lock = l2.(e);
+               y_unlock = u2.(e);
+             })))
+    (fun rects ->
+      Separation.rects_strongly_connected rects
+      = Fast_test.rects_strongly_connected rects)
+
+let test_fast_test_on_figures () =
+  List.iter
+    (fun (name, sys) ->
+      let t1, t2 = System.pair sys in
+      if Txn.is_total t1 && Txn.is_total t2 then begin
+        let plane = Plane.make sys in
+        Util.check name (Separation.is_safe plane) (Fast_test.is_safe plane)
+      end)
+    (Distlock_core.Figures.all ());
+  (* degenerate sizes *)
+  Util.check "no rects" true (Fast_test.rects_strongly_connected []);
+  Util.check "one rect" true
+    (Fast_test.rects_strongly_connected
+       [ { Rect.entity = 0; x_lock = 1; x_unlock = 2; y_lock = 1; y_unlock = 2 } ])
+
+let test_render_plane () =
+  let sys = fig2 () in
+  let plane = Plane.make sys in
+  let bare = Render.plane plane in
+  let lines = String.split_on_char '\n' bare in
+  (* 2*9+1 grid rows + axis label row + trailing empty = 21 *)
+  Util.check_int "row count" 21 (List.length lines);
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Util.check "no staircase without schedule" false (contains bare "*");
+  Util.check "rectangles present" true
+    (contains bare "xx" && contains bare "yy" && contains bare "zz");
+  match Separation.decide plane with
+  | Separation.Unsafe { schedule; _ } ->
+      let drawn = Render.plane ~schedule plane in
+      Util.check "staircase drawn" true (contains drawn "*")
+  | Separation.Safe -> Alcotest.fail "fig2 unsafe"
+
+let () =
+  Alcotest.run "geometry"
+    [
+      ("rect", [ Alcotest.test_case "overlap" `Quick test_rect_overlap ]);
+      ( "plane",
+        [
+          Alcotest.test_case "fig2 rectangles" `Quick test_plane_fig2;
+          Alcotest.test_case "path roundtrip" `Quick test_path_roundtrip;
+          Alcotest.test_case "b-vector on serial" `Quick test_b_vector_serial;
+        ] );
+      ( "separation",
+        [
+          Alcotest.test_case "fig2 unsafe" `Quick test_separation_fig2;
+          Alcotest.test_case "fig2 interlock" `Quick test_interlock_fig2;
+          Alcotest.test_case "safe pair" `Quick test_safe_pair;
+          Alcotest.test_case "realize orientations" `Quick test_realize_orientations;
+          qcheck_decide_vs_enumeration;
+          qcheck_unsafe_witness_valid;
+          qcheck_b_vector_monotone;
+        ] );
+      ( "render",
+        [ Alcotest.test_case "fig2 picture" `Quick test_render_plane ] );
+      ( "fast test",
+        [
+          Alcotest.test_case "figures and degenerate" `Quick test_fast_test_on_figures;
+          qcheck_fast_test_agrees;
+        ] );
+    ]

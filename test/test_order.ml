@@ -1,0 +1,169 @@
+open Distlock_order
+
+let factorial n =
+  let rec go acc k = if k <= 1 then acc else go (acc * k) (k - 1) in
+  go 1 n
+
+let test_poset_basic () =
+  match Poset.of_arcs 4 [ (0, 1); (1, 2) ] with
+  | None -> Alcotest.fail "expected acyclic"
+  | Some p ->
+      Util.check "0<1" true (Poset.precedes p 0 1);
+      Util.check "0<2 (transitive)" true (Poset.precedes p 0 2);
+      Util.check "not 2<0" false (Poset.precedes p 2 0);
+      Util.check "3 concurrent with 0" true (Poset.concurrent p 3 0);
+      Util.check "comparable 0 2" true (Poset.comparable p 0 2);
+      Util.check "not total" false (Poset.is_total p);
+      Util.check "total on chain" true (Poset.total_on p [ 0; 1; 2 ]);
+      Util.check "not total with 3" false (Poset.total_on p [ 0; 3 ])
+
+let test_poset_cycle () =
+  Util.check "cycle rejected" true (Poset.of_arcs 2 [ (0, 1); (1, 0) ] = None);
+  Util.check "self loop rejected" true (Poset.of_arcs 1 [ (0, 0) ] = None)
+
+let test_chain_empty () =
+  let c = Poset.chain 4 in
+  Util.check "chain total" true (Poset.is_total c);
+  Util.check "chain order" true (Poset.precedes c 0 3);
+  let e = Poset.empty 4 in
+  Util.check "antichain" true (Poset.concurrent e 0 3);
+  Util.check_int "chain exts" 1 (Linext.count c);
+  Util.check_int "antichain exts" (factorial 4) (Linext.count e)
+
+let test_covers () =
+  match Poset.of_arcs 3 [ (0, 1); (1, 2); (0, 2) ] with
+  | None -> Alcotest.fail "acyclic"
+  | Some p ->
+      Alcotest.(check (list (pair int int)))
+        "covers drop transitive arc" [ (0, 1); (1, 2) ] (Poset.covers p)
+
+let test_add_arcs () =
+  let p = Option.get (Poset.of_arcs 3 [ (0, 1) ]) in
+  (match Poset.add_arcs p [ (1, 2) ] with
+  | None -> Alcotest.fail "extension should work"
+  | Some q ->
+      Util.check "new precedence" true (Poset.precedes q 0 2);
+      Util.check "original untouched" false (Poset.precedes p 1 2));
+  Util.check "contradiction rejected" true (Poset.add_arcs p [ (1, 0) ] = None)
+
+let test_reverse () =
+  let p = Option.get (Poset.of_arcs 3 [ (0, 1); (1, 2) ]) in
+  let r = Poset.reverse p in
+  Util.check "reversed" true (Poset.precedes r 2 0);
+  Util.check "involution" true (Poset.equal p (Poset.reverse r))
+
+(* Known extension counts: the "N" poset 0<2, 1<2, 1<3 over {0,1,2,3}. *)
+let test_known_counts () =
+  let p = Option.get (Poset.of_arcs 4 [ (0, 2); (1, 2); (1, 3) ]) in
+  (* extensions: choose interleavings; count by brute definition *)
+  let count = Linext.count p in
+  (* verify against direct permutation filter *)
+  let all_perms =
+    let rec perms = function
+      | [] -> [ [] ]
+      | l ->
+          List.concat_map
+            (fun x -> List.map (fun p -> x :: p) (perms (List.filter (( <> ) x) l)))
+            l
+    in
+    perms [ 0; 1; 2; 3 ]
+  in
+  let valid =
+    List.filter
+      (fun perm -> Poset.is_linear_extension p (Array.of_list perm))
+      all_perms
+  in
+  Util.check_int "count matches filter" (List.length valid) count
+
+let qcheck_extensions_valid =
+  Util.qtest ~count:50 "every enumerated extension is a linear extension"
+    (Util.gen_with_state (fun st ->
+         let n = 1 + Random.State.int st 6 in
+         (n, Util.random_dag_arcs st n 0.4)))
+    (fun (n, arcs) ->
+      let p = Option.get (Poset.of_arcs n arcs) in
+      let ok = ref true in
+      Linext.iter p (fun ext ->
+          if not (Poset.is_linear_extension p ext) then ok := false);
+      !ok)
+
+let qcheck_extension_count_vs_perms =
+  Util.qtest ~count:30 "extension count equals permutation filter"
+    (Util.gen_with_state (fun st ->
+         let n = 1 + Random.State.int st 5 in
+         (n, Util.random_dag_arcs st n 0.4)))
+    (fun (n, arcs) ->
+      let p = Option.get (Poset.of_arcs n arcs) in
+      let count = Linext.count p in
+      (* count permutations validating *)
+      let rec perms acc = function
+        | [] -> if Poset.is_linear_extension p (Array.of_list (List.rev acc)) then 1 else 0
+        | l ->
+            List.fold_left
+              (fun total x -> total + perms (x :: acc) (List.filter (( <> ) x) l))
+              0 l
+      in
+      count = perms [] (List.init n Fun.id))
+
+let qcheck_random_extension =
+  Util.qtest ~count:60 "random extension is valid"
+    (Util.gen_with_state (fun st ->
+         let n = 1 + Random.State.int st 10 in
+         let arcs = Util.random_dag_arcs st n 0.3 in
+         let p = Option.get (Poset.of_arcs n arcs) in
+         (p, Linext.random st p)))
+    (fun (p, ext) -> Poset.is_linear_extension p ext)
+
+let qcheck_priority_extension =
+  Util.qtest ~count:60 "priority linearization is valid"
+    (Util.gen_with_state (fun st ->
+         let n = 1 + Random.State.int st 10 in
+         (Option.get (Poset.of_arcs n (Util.random_dag_arcs st n 0.3)),
+          Random.State.int st n)))
+    (fun (p, pivot) ->
+      let ext = Poset.linearize_with_priority p ~priority:(fun v -> abs (v - pivot)) in
+      Poset.is_linear_extension p ext)
+
+let test_find_exists () =
+  let p = Poset.empty 3 in
+  Util.check "exists" true
+    (Linext.exists p (fun e -> e.(0) = 2 && e.(1) = 1 && e.(2) = 0));
+  (match Linext.find p (fun e -> e.(0) = 1) with
+  | Some e -> Util.check_int "found starts with 1" 1 e.(0)
+  | None -> Alcotest.fail "should find");
+  let c = Poset.chain 3 in
+  Util.check "chain: no reversed extension" false
+    (Linext.exists c (fun e -> e.(0) = 2))
+
+let test_down_up_sets () =
+  let p = Option.get (Poset.of_arcs 4 [ (0, 1); (1, 2) ]) in
+  Alcotest.(check (list int)) "down 2" [ 0; 1 ]
+    (Distlock_graph.Bitset.elements (Poset.down_set p 2));
+  Alcotest.(check (list int)) "up 0" [ 1; 2 ]
+    (Distlock_graph.Bitset.elements (Poset.up_set p 0));
+  Alcotest.(check (list int)) "down 3 empty" []
+    (Distlock_graph.Bitset.elements (Poset.down_set p 3))
+
+let () =
+  Alcotest.run "order"
+    [
+      ( "poset",
+        [
+          Alcotest.test_case "basic" `Quick test_poset_basic;
+          Alcotest.test_case "cycles rejected" `Quick test_poset_cycle;
+          Alcotest.test_case "chain/antichain" `Quick test_chain_empty;
+          Alcotest.test_case "covers" `Quick test_covers;
+          Alcotest.test_case "add_arcs" `Quick test_add_arcs;
+          Alcotest.test_case "reverse" `Quick test_reverse;
+          Alcotest.test_case "down/up sets" `Quick test_down_up_sets;
+        ] );
+      ( "linext",
+        [
+          Alcotest.test_case "known counts" `Quick test_known_counts;
+          Alcotest.test_case "find/exists" `Quick test_find_exists;
+          qcheck_extensions_valid;
+          qcheck_extension_count_vs_perms;
+          qcheck_random_extension;
+          qcheck_priority_extension;
+        ] );
+    ]

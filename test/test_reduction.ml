@@ -1,0 +1,182 @@
+open Distlock_core
+open Distlock_sat
+open Distlock_txn
+
+let sat_formula () =
+  Cnf.make ~num_vars:3
+    [
+      [ Cnf.pos 0; Cnf.pos 1 ];
+      [ Cnf.neg 0; Cnf.pos 2 ];
+      [ Cnf.pos 1; Cnf.neg 2 ];
+    ]
+
+(* Verified unsatisfiable (truth table) and in restricted form. *)
+let unsat_formula () =
+  Cnf.make ~num_vars:5
+    [
+      [ Cnf.neg 1; Cnf.pos 0 ];
+      [ Cnf.pos 0; Cnf.pos 1 ];
+      [ Cnf.neg 2; Cnf.pos 1 ];
+      [ Cnf.pos 2; Cnf.pos 4 ];
+      [ Cnf.pos 3; Cnf.pos 4 ];
+      [ Cnf.neg 0; Cnf.neg 3 ];
+      [ Cnf.pos 3; Cnf.neg 4 ];
+    ]
+
+let test_formulas_as_expected () =
+  Util.check "sat formula restricted" true (Cnf.is_restricted (sat_formula ()));
+  Util.check "sat" true (Dpll.solve_brute (sat_formula ()) <> None);
+  Util.check "unsat formula restricted" true (Cnf.is_restricted (unsat_formula ()));
+  Util.check "unsat" true (Dpll.solve_brute (unsat_formula ()) = None)
+
+let test_gadget_structure () =
+  let g = Reduction.encode (sat_formula ()) in
+  let sys = Reduction.system g in
+  (* every entity on its own site *)
+  let db = System.db sys in
+  Util.check_int "one entity per site" (Database.num_entities db)
+    (Database.num_sites db);
+  (* both transactions lock every entity *)
+  let t1, t2 = System.pair sys in
+  Util.check_int "T1 locks all" (Database.num_entities db)
+    (List.length (Txn.locked_entities t1));
+  Util.check_int "T2 locks all" (Database.num_entities db)
+    (List.length (Txn.locked_entities t2));
+  Util.check "well-formed" true (System.validate sys = []);
+  (* encode already asserts D = intended gadget; check shape anyway *)
+  let d = Reduction.dgraph g in
+  Util.check "not strongly connected" false (Dgraph.is_strongly_connected d);
+  let intended, _ = Reduction.intended_digraph g in
+  Util.check "arcs present" true (Distlock_graph.Digraph.num_arcs intended > 0)
+
+let test_rejects_bad_input () =
+  let not_restricted =
+    Cnf.make ~num_vars:1 [ [ Cnf.pos 0 ] ]
+  in
+  Alcotest.check_raises "unit clause rejected"
+    (Invalid_argument "Reduction.encode: formula is not in restricted form")
+    (fun () -> ignore (Reduction.encode not_restricted))
+
+let test_dominator_assignment_roundtrip () =
+  let g = Reduction.encode (sat_formula ()) in
+  let a = [| true; false; true |] in
+  let dom = Reduction.dominator_of_assignment g a in
+  Alcotest.(check (array bool)) "roundtrip" a (Reduction.assignment_of_dominator g dom)
+
+let test_sat_implies_unsafe_with_certificate () =
+  let f = sat_formula () in
+  let g = Reduction.encode f in
+  let model = Option.get (Dpll.solve f) in
+  match Reduction.certificate_of_model g model with
+  | Error m -> Alcotest.fail m
+  | Ok cert ->
+      Util.check "verified" true (Certificate.verify (Reduction.system g) cert)
+
+let test_non_model_rejected () =
+  let f = sat_formula () in
+  let g = Reduction.encode f in
+  (* x0=0 x1=0 falsifies clause 1 *)
+  match Reduction.certificate_of_model g [| false; false; false |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-model must be rejected"
+
+let test_unsat_no_dominator_closes () =
+  let g = Reduction.encode (unsat_formula ()) in
+  Util.check "no closure" true (Reduction.decide_unsafe_by_closure g = None)
+
+let test_unsat_randomized_probe () =
+  (* Independent evidence on the unsat gadget: random legal schedules of
+     the encoded system stay serializable. *)
+  let g = Reduction.encode (unsat_formula ()) in
+  let rng = Util.rng () in
+  Util.check "no violation found in 50 random schedules" true
+    (Brute.probe_random rng ~trials:50 (Reduction.system g) = None)
+
+let test_sat_via_safety_end_to_end () =
+  Util.check "sat" true (Reduction.sat_via_safety (sat_formula ()));
+  Util.check "unsat" false (Reduction.sat_via_safety (unsat_formula ()));
+  (* through the normalizer: arbitrary shapes *)
+  let xor_unsat =
+    Cnf.make ~num_vars:2
+      [
+        [ Cnf.pos 0; Cnf.pos 1 ]; [ Cnf.neg 0; Cnf.pos 1 ];
+        [ Cnf.pos 0; Cnf.neg 1 ]; [ Cnf.neg 0; Cnf.neg 1 ];
+      ]
+  in
+  Util.check "xor-unsat via locking" false (Reduction.sat_via_safety xor_unsat);
+  let trivial = Cnf.make ~num_vars:1 [ [ Cnf.pos 0 ] ] in
+  Util.check "unit clause via locking" true (Reduction.sat_via_safety trivial);
+  let empty_clause = Cnf.make ~num_vars:1 [ [] ] in
+  Util.check "empty clause" false (Reduction.sat_via_safety empty_clause)
+
+let qcheck_reduction_equivalence =
+  Util.qtest ~count:25 "satisfiable iff encoded system unsafe"
+    (Util.gen_with_state (fun st ->
+         Sat_gen.random_restricted st ~num_vars:(3 + Random.State.int st 2)
+           ~num_clauses:(4 + Random.State.int st 4)))
+    (fun f ->
+      f.Cnf.clauses = []
+      ||
+      let sat = Dpll.solve_brute f <> None in
+      let g = Reduction.encode f in
+      match Reduction.decide_unsafe_by_closure g with
+      | Some (dominator, closed) ->
+          sat
+          && (match
+                Certificate.construct ~original:(Reduction.system g) ~closed
+                  ~dominator
+              with
+             | Ok cert -> Certificate.verify (Reduction.system g) cert
+             | Error _ -> false)
+      | None -> not sat)
+
+let qcheck_model_dominators_close =
+  Util.qtest ~count:25 "every model's dominator closes and certifies"
+    (Util.gen_with_state (fun st ->
+         Sat_gen.random_restricted st ~num_vars:(3 + Random.State.int st 2)
+           ~num_clauses:(3 + Random.State.int st 3)))
+    (fun f ->
+      f.Cnf.clauses = []
+      ||
+      match Dpll.solve f with
+      | None -> true
+      | Some model -> (
+          let g = Reduction.encode f in
+          match Reduction.certificate_of_model g model with
+          | Ok cert -> Certificate.verify (Reduction.system g) cert
+          | Error _ -> false))
+
+let test_gadget_size_linear () =
+  (* The reduction is polynomial: entity count grows linearly with the
+     formula (the point of Theorem 3's construction). *)
+  let size nv nc =
+    let st = Random.State.make [| nv * 31 + nc |] in
+    let f = Sat_gen.random_restricted st ~num_vars:nv ~num_clauses:nc in
+    if f.Cnf.clauses = [] then 0
+    else Reduction.num_entities (Reduction.encode f)
+  in
+  let s1 = size 4 4 and s2 = size 8 8 in
+  Util.check "roughly linear growth" true (s2 < 4 * s1 && s2 > s1)
+
+let () =
+  Alcotest.run "reduction"
+    [
+      ( "gadget",
+        [
+          Alcotest.test_case "fixtures" `Quick test_formulas_as_expected;
+          Alcotest.test_case "structure" `Quick test_gadget_structure;
+          Alcotest.test_case "input validation" `Quick test_rejects_bad_input;
+          Alcotest.test_case "dominator<->assignment" `Quick test_dominator_assignment_roundtrip;
+          Alcotest.test_case "size linear" `Quick test_gadget_size_linear;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "sat => certificate" `Quick test_sat_implies_unsafe_with_certificate;
+          Alcotest.test_case "non-model rejected" `Quick test_non_model_rejected;
+          Alcotest.test_case "unsat => no closure" `Slow test_unsat_no_dominator_closes;
+          Alcotest.test_case "unsat randomized probe" `Quick test_unsat_randomized_probe;
+          Alcotest.test_case "end-to-end sat_via_safety" `Slow test_sat_via_safety_end_to_end;
+          qcheck_reduction_equivalence;
+          qcheck_model_dominators_close;
+        ] );
+    ]

@@ -1,0 +1,168 @@
+open Distlock_txn
+open Distlock_rw
+
+let mkdb entities =
+  let db = Database.create () in
+  Database.add_all db entities;
+  db
+
+(* Both transactions S-lock then unlock one entity. *)
+let shared_pair () =
+  let db = mkdb [ ("x", 1) ] in
+  let mk name =
+    let steps =
+      [|
+        { Rw_txn.action = Rw_txn.Lock Rw_txn.Shared; entity = 0 };
+        { Rw_txn.action = Rw_txn.Unlock; entity = 0 };
+      |]
+    in
+    Rw_txn.make ~name ~labels:[| "SLx"; "Ux" |] ~steps
+      (Option.get (Distlock_order.Poset.of_arcs 2 [ (0, 1) ]))
+  in
+  (db, Rw_system.make db [ mk "T1"; mk "T2" ])
+
+let test_shared_locks_overlap () =
+  let _db, sys = shared_pair () in
+  Util.check "well-formed" true (Rw_system.validate sys = []);
+  (* interleaved shared sections are legal *)
+  let h = [ (0, 0); (1, 0); (0, 1); (1, 1) ] in
+  Util.check "overlapping shared legal" true (Rw_system.is_legal sys h);
+  Util.check "and serializable" true (Rw_system.is_serializable sys h);
+  (* S-S entities are not conflicting *)
+  Util.check "no conflicting entities" true
+    (Rw_system.conflicting_common sys = []);
+  Util.check "vacuously safe" true (Rw_safety.twosite_decide sys);
+  Util.check "oracle agrees" true (Rw_system.safe sys)
+
+let exclusive_pair () =
+  let db = mkdb [ ("x", 1) ] in
+  let mk name =
+    let steps =
+      [|
+        { Rw_txn.action = Rw_txn.Lock Rw_txn.Exclusive; entity = 0 };
+        { Rw_txn.action = Rw_txn.Unlock; entity = 0 };
+      |]
+    in
+    Rw_txn.make ~name ~labels:[| "XLx"; "Ux" |] ~steps
+      (Option.get (Distlock_order.Poset.of_arcs 2 [ (0, 1) ]))
+  in
+  (db, Rw_system.make db [ mk "T1"; mk "T2" ])
+
+let test_exclusive_exclusion () =
+  let _db, sys = exclusive_pair () in
+  let interleaved = [ (0, 0); (1, 0); (0, 1); (1, 1) ] in
+  Util.check "overlapping exclusive illegal" false
+    (Rw_system.is_legal sys interleaved);
+  let serial = [ (0, 0); (0, 1); (1, 0); (1, 1) ] in
+  Util.check "serial legal" true (Rw_system.is_legal sys serial);
+  Util.check "one conflicting entity" true
+    (List.length (Rw_system.conflicting_common sys) = 1)
+
+let test_mixed_modes_conflict () =
+  (* S in one transaction, X in the other: sections must not overlap *)
+  let db = mkdb [ ("x", 1) ] in
+  let mk name mode =
+    let steps =
+      [|
+        { Rw_txn.action = Rw_txn.Lock mode; entity = 0 };
+        { Rw_txn.action = Rw_txn.Unlock; entity = 0 };
+      |]
+    in
+    Rw_txn.make ~name ~steps
+      (Option.get (Distlock_order.Poset.of_arcs 2 [ (0, 1) ]))
+  in
+  let sys =
+    Rw_system.make db [ mk "T1" Rw_txn.Shared; mk "T2" Rw_txn.Exclusive ]
+  in
+  Util.check "S then X overlap illegal" false
+    (Rw_system.is_legal sys [ (0, 0); (1, 0); (0, 1); (1, 1) ]);
+  Util.check "conflicting" true
+    (List.length (Rw_system.conflicting_common sys) = 1)
+
+let test_validate () =
+  let db = mkdb [ ("x", 1) ] in
+  let orphan =
+    Rw_txn.make ~name:"B"
+      ~steps:[| { Rw_txn.action = Rw_txn.Lock Rw_txn.Shared; entity = 0 } |]
+      (Distlock_order.Poset.empty 1)
+  in
+  Util.check "orphan lock flagged" true (Rw_txn.validate db orphan <> [])
+
+(* The headline property: the paper's "variants change the theory very
+   little" — two-site safety is again strong connectivity, now over the
+   conflicting entities only. *)
+let qcheck_rw_twosite_exact =
+  Util.qtest ~count:60 "RW two-site safety = strong connectivity over conflicts"
+    (Util.gen_with_state (fun st ->
+         Rw_gen.random_pair st ~num_shared:(2 + Random.State.int st 2)
+           ~num_sites:(1 + Random.State.int st 2)
+           ~shared_prob:(Random.State.float st 1.0)
+           ~cross_prob:(Random.State.float st 1.0) ()))
+    (fun sys ->
+      match Rw_system.safe ~limit:3_000_000 sys with
+      | exception Failure _ -> true
+      | oracle -> Rw_safety.twosite_decide sys = oracle)
+
+let qcheck_gen_well_formed =
+  Util.qtest ~count:60 "RW generator produces well-formed systems"
+    (Util.gen_with_state (fun st ->
+         Rw_gen.random_pair st ~num_shared:(2 + Random.State.int st 4)
+           ~num_sites:(1 + Random.State.int st 3) ()))
+    (fun sys -> Rw_system.validate sys = [])
+
+let qcheck_all_shared_safe =
+  Util.qtest ~count:40 "all-shared systems are always safe"
+    (Util.gen_with_state (fun st ->
+         Rw_gen.random_pair st ~num_shared:(2 + Random.State.int st 2)
+           ~num_sites:2 ~shared_prob:1.0
+           ~cross_prob:(Random.State.float st 1.0) ()))
+    (fun sys ->
+      Rw_system.conflicting_common sys = []
+      && Rw_safety.twosite_decide sys
+      && match Rw_system.safe ~limit:3_000_000 sys with
+         | exception Failure _ -> true
+         | oracle -> oracle)
+
+let qcheck_all_exclusive_matches_exclusive_model =
+  Util.qtest ~count:40
+    "shared_prob 0 degenerates to the exclusive model's verdicts"
+    (Util.gen_with_state (fun st ->
+         Rw_gen.random_pair st ~num_shared:(2 + Random.State.int st 2)
+           ~num_sites:2 ~shared_prob:0.0
+           ~cross_prob:(Random.State.float st 1.0) ()))
+    (fun sys ->
+      (* rebuild as an exclusive-model system and compare verdicts *)
+      let db = Rw_system.db sys in
+      let convert rwt =
+        let n = Rw_txn.num_steps rwt in
+        let steps =
+          Array.init n (fun i ->
+              let s = Rw_txn.step rwt i in
+              match s.Rw_txn.action with
+              | Rw_txn.Lock _ -> Distlock_txn.Step.lock s.Rw_txn.entity
+              | Rw_txn.Unlock -> Distlock_txn.Step.unlock s.Rw_txn.entity)
+        in
+        Txn.make ~name:(Rw_txn.name rwt) ~steps (Rw_txn.order rwt)
+      in
+      let t1, t2 = Rw_system.pair sys in
+      let esys = System.make db [ convert t1; convert t2 ] in
+      Rw_safety.twosite_decide sys = Distlock_core.Twosite.is_safe esys)
+
+let () =
+  Alcotest.run "rw"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "shared overlap" `Quick test_shared_locks_overlap;
+          Alcotest.test_case "exclusive exclusion" `Quick test_exclusive_exclusion;
+          Alcotest.test_case "mixed modes" `Quick test_mixed_modes_conflict;
+          Alcotest.test_case "validate" `Quick test_validate;
+        ] );
+      ( "safety",
+        [
+          qcheck_rw_twosite_exact;
+          qcheck_gen_well_formed;
+          qcheck_all_shared_safe;
+          qcheck_all_exclusive_matches_exclusive_model;
+        ] );
+    ]

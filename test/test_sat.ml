@@ -1,0 +1,170 @@
+open Distlock_sat
+
+let gen_formula =
+  Util.gen_with_state (fun st ->
+      let nv = 1 + Random.State.int st 8 in
+      let nc = 1 + Random.State.int st 12 in
+      Sat_gen.random st ~num_vars:nv ~num_clauses:nc ~max_len:4)
+
+let test_eval () =
+  let f =
+    Cnf.make ~num_vars:2 [ [ Cnf.pos 0; Cnf.neg 1 ]; [ Cnf.pos 1 ] ]
+  in
+  Util.check "10 falsifies? c2" false (Cnf.eval [| true; false |] f);
+  Util.check "11 satisfies" true (Cnf.eval [| true; true |] f);
+  Util.check "01 falsifies c1" false (Cnf.eval [| false; true |] f);
+  Util.check_int "clauses" 2 (Cnf.num_clauses f)
+
+let test_occurrences_restricted () =
+  let f =
+    Cnf.make ~num_vars:3
+      [ [ Cnf.pos 0; Cnf.pos 1 ]; [ Cnf.pos 0; Cnf.neg 2 ]; [ Cnf.neg 0; Cnf.pos 2 ] ]
+  in
+  Alcotest.(check (array (pair int int)))
+    "occurrences" [| (2, 1); (1, 0); (1, 1) |] (Cnf.occurrences f);
+  Util.check "restricted" true (Cnf.is_restricted f);
+  let too_many =
+    Cnf.make ~num_vars:1 [] |> fun _ ->
+    Cnf.make ~num_vars:2
+      [ [ Cnf.pos 0; Cnf.pos 1 ]; [ Cnf.pos 0; Cnf.neg 1 ]; [ Cnf.pos 0; Cnf.pos 1 ] ]
+  in
+  Util.check "3 positives rejected" false (Cnf.is_restricted too_many);
+  let unit_clause = Cnf.make ~num_vars:2 [ [ Cnf.pos 0 ]; [ Cnf.pos 0; Cnf.pos 1 ] ] in
+  Util.check "unit clause rejected" false (Cnf.is_restricted unit_clause);
+  let dup_var = Cnf.make ~num_vars:2 [ [ Cnf.pos 0; Cnf.neg 0; Cnf.pos 1 ] ] in
+  Util.check "duplicate var rejected" false (Cnf.is_restricted dup_var)
+
+let test_out_of_range () =
+  Alcotest.check_raises "literal range"
+    (Invalid_argument "Cnf.make: literal out of range") (fun () ->
+      ignore (Cnf.make ~num_vars:1 [ [ Cnf.pos 1 ] ]))
+
+let test_dpll_known () =
+  let unsat =
+    Cnf.make ~num_vars:1 [ [ Cnf.pos 0 ]; [ Cnf.neg 0 ] ]
+  in
+  Util.check "x & ~x unsat" false (Dpll.is_satisfiable unsat);
+  let trivial = Cnf.make ~num_vars:3 [] in
+  Util.check "empty formula sat" true (Dpll.is_satisfiable trivial);
+  let empty_clause = Cnf.make ~num_vars:1 [ [] ] in
+  Util.check "empty clause unsat" false (Dpll.is_satisfiable empty_clause);
+  (* The fixed propagate-leak regression: a formula whose first branch hits
+     a conflict during unit propagation and must backtrack cleanly. *)
+  let f =
+    Cnf.make ~num_vars:4
+      [
+        [ Cnf.neg 1; Cnf.neg 3 ]; [ Cnf.pos 2; Cnf.neg 0 ]; [ Cnf.pos 3; Cnf.neg 2 ];
+        [ Cnf.pos 2; Cnf.pos 3; Cnf.pos 0 ]; [ Cnf.pos 1; Cnf.pos 0 ];
+      ]
+  in
+  Util.check "regression: satisfiable" true (Dpll.is_satisfiable f);
+  match Dpll.solve f with
+  | Some m -> Util.check "model valid" true (Cnf.eval m f)
+  | None -> Alcotest.fail "expected model"
+
+let qcheck_dpll_vs_brute =
+  Util.qtest ~count:300 "DPLL agrees with the truth table"
+    gen_formula
+    (fun f ->
+      let s1 = Dpll.solve f and s2 = Dpll.solve_brute f in
+      (s1 = None) = (s2 = None)
+      && (match s1 with Some m -> Cnf.eval m f | None -> true))
+
+let qcheck_count_models =
+  Util.qtest ~count:50 "count_models consistent with satisfiability"
+    gen_formula
+    (fun f -> Dpll.count_models f > 0 = Dpll.is_satisfiable f)
+
+let qcheck_normalize =
+  Util.qtest ~count:150 "normalization is restricted and equisatisfiable"
+    gen_formula
+    (fun f ->
+      match Normalize.run f with
+      | None -> not (Dpll.is_satisfiable f)
+      | Some n ->
+          Cnf.is_restricted n.Normalize.formula
+          && Dpll.is_satisfiable n.Normalize.formula = Dpll.is_satisfiable f)
+
+let qcheck_normalize_project =
+  Util.qtest ~count:100 "projected models satisfy the original"
+    gen_formula
+    (fun f ->
+      match Normalize.run f with
+      | None -> true
+      | Some n -> (
+          match Dpll.solve n.Normalize.formula with
+          | None -> true
+          | Some m -> Cnf.eval (Normalize.project n m) f))
+
+let test_normalize_long_clause () =
+  (* One clause of 6 literals: must be split into <= 3-literal clauses. *)
+  let f = Cnf.make ~num_vars:6 [ List.init 6 Cnf.pos ] in
+  match Normalize.run f with
+  | None -> Alcotest.fail "satisfiable input"
+  | Some n ->
+      Util.check "restricted" true (Cnf.is_restricted n.Normalize.formula);
+      Util.check "still satisfiable" true (Dpll.is_satisfiable n.Normalize.formula)
+
+let test_normalize_tautology () =
+  let f = Cnf.make ~num_vars:1 [ [ Cnf.pos 0; Cnf.neg 0 ] ] in
+  match Normalize.run f with
+  | None -> Alcotest.fail "tautologies are satisfiable"
+  | Some n -> Util.check "sat" true (Dpll.is_satisfiable n.Normalize.formula)
+
+let qcheck_random_restricted =
+  Util.qtest ~count:100 "Sat_gen.random_restricted produces restricted formulas"
+    (Util.gen_with_state (fun st ->
+         Sat_gen.random_restricted st ~num_vars:(3 + Random.State.int st 6)
+           ~num_clauses:(2 + Random.State.int st 8)))
+    (fun f -> Cnf.is_restricted f)
+
+let test_dimacs_roundtrip () =
+  let f =
+    Cnf.make ~num_vars:3
+      [ [ Cnf.pos 0; Cnf.neg 2 ]; [ Cnf.neg 1 ]; [ Cnf.pos 2; Cnf.pos 1; Cnf.neg 0 ] ]
+  in
+  match Dimacs.of_string (Dimacs.to_string f) with
+  | Error m -> Alcotest.fail m
+  | Ok g ->
+      Util.check_int "vars" f.Cnf.num_vars g.Cnf.num_vars;
+      Util.check "clauses" true (f.Cnf.clauses = g.Cnf.clauses)
+
+let test_dimacs_errors () =
+  Util.check "missing header" true
+    (match Dimacs.of_string "1 2 0\n" with Error _ -> true | Ok _ -> false);
+  Util.check "unterminated" true
+    (match Dimacs.of_string "p cnf 2 1\n1 2\n" with Error _ -> true | Ok _ -> false);
+  Util.check "comments ok" true
+    (match Dimacs.of_string "c hello\np cnf 1 1\n1 0\n" with
+    | Ok f -> Cnf.num_clauses f = 1
+    | Error _ -> false)
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "cnf",
+        [
+          Alcotest.test_case "eval" `Quick test_eval;
+          Alcotest.test_case "occurrences/restricted" `Quick test_occurrences_restricted;
+          Alcotest.test_case "range check" `Quick test_out_of_range;
+        ] );
+      ( "dpll",
+        [
+          Alcotest.test_case "known formulas" `Quick test_dpll_known;
+          qcheck_dpll_vs_brute;
+          qcheck_count_models;
+        ] );
+      ( "normalize",
+        [
+          Alcotest.test_case "long clause" `Quick test_normalize_long_clause;
+          Alcotest.test_case "tautology" `Quick test_normalize_tautology;
+          qcheck_normalize;
+          qcheck_normalize_project;
+          qcheck_random_restricted;
+        ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "errors" `Quick test_dimacs_errors;
+        ] );
+    ]

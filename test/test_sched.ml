@@ -1,0 +1,241 @@
+open Distlock_txn
+open Distlock_sched
+
+let mkdb entities =
+  let db = Database.create () in
+  Database.add_all db entities;
+  db
+
+(* Two totally ordered single-entity transactions. *)
+let tiny_pair () =
+  let db = mkdb [ ("x", 1) ] in
+  let t1 = Builder.locked_sequence db ~name:"T1" [ "x" ] in
+  let t2 = Builder.locked_sequence db ~name:"T2" [ "x" ] in
+  System.make db [ t1; t2 ]
+
+let test_serial () =
+  let sys = tiny_pair () in
+  let h = Schedule.serial sys [ 0; 1 ] in
+  Util.check_int "length" 6 (Schedule.length h);
+  Util.check "complete" true (Schedule.is_complete sys h);
+  Util.check "legal" true (Legality.is_legal sys h);
+  Util.check "serializable" true (Conflict.is_serializable sys h);
+  Alcotest.(check (array int)) "projection" [| 0; 1; 2 |] (Schedule.project h 0)
+
+let test_incomplete () =
+  let sys = tiny_pair () in
+  let h = Schedule.of_events [ (0, 0); (0, 1) ] in
+  Util.check "incomplete detected" false (Schedule.is_complete sys h);
+  Util.check "illegal" false (Legality.is_legal sys h);
+  let dup = Schedule.of_events (Schedule.events (Schedule.serial sys [ 0; 1 ]) @ [ (0, 0) ]) in
+  Util.check "duplicate detected" false (Schedule.is_complete sys dup)
+
+let test_lock_exclusion () =
+  let sys = tiny_pair () in
+  (* interleave the two lock sections: T1 locks, T2 locks before T1 unlocks *)
+  let h =
+    Schedule.of_events
+      [ (0, 0); (1, 0); (0, 1); (0, 2); (1, 1); (1, 2) ]
+  in
+  Util.check "exclusion violated" true
+    (List.exists
+       (function Legality.Lock_held _ -> true | _ -> false)
+       (Legality.check sys h))
+
+let test_order_violation () =
+  let sys = tiny_pair () in
+  let h =
+    Schedule.of_events [ (0, 1); (0, 0); (0, 2); (1, 0); (1, 1); (1, 2) ]
+  in
+  Util.check "order violated" true
+    (List.exists
+       (function Legality.Order_violated _ -> true | _ -> false)
+       (Legality.check sys h))
+
+let test_unlock_not_held () =
+  let db = mkdb [ ("x", 1) ] in
+  (* ill-formed on purpose: unlock with no lock *)
+  let t = Builder.make_exn db ~name:"T" ~steps:[ ("Ux", `Unlock "x") ] () in
+  let sys = System.make db [ t ] in
+  let h = Schedule.of_events [ (0, 0) ] in
+  Util.check "unlock-not-held" true
+    (List.exists
+       (function Legality.Unlock_not_held _ -> true | _ -> false)
+       (Legality.check sys h))
+
+(* Conflict graphs *)
+
+let test_conflict_two_entities () =
+  let db = mkdb [ ("x", 1); ("y", 1) ] in
+  let t1 = Builder.locked_sequence db ~name:"T1" [ "x"; "y" ] in
+  let t2 = Builder.locked_sequence db ~name:"T2" [ "y"; "x" ] in
+  let sys = System.make db [ t1; t2 ] in
+  (* T1 does x before T2, T2 does y before T1: conflict cycle *)
+  let h =
+    Schedule.of_events
+      [
+        (0, 0); (0, 1); (0, 2); (* T1 x section *)
+        (1, 0); (1, 1); (1, 2); (* T2 y section *)
+        (0, 3); (0, 4); (0, 5); (* T1 y section *)
+        (1, 3); (1, 4); (1, 5); (* T2 x section *)
+      ]
+  in
+  Util.check "legal" true (Legality.is_legal sys h);
+  (match Conflict.check sys h with
+  | Conflict.Not_serializable cycle ->
+      Util.check_int "cycle over both txns" 2 (List.length (List.sort_uniq compare cycle))
+  | Conflict.Serializable _ -> Alcotest.fail "expected conflict cycle");
+  (* consistent order: serializable *)
+  let h2 = Schedule.serial sys [ 1; 0 ] in
+  match Conflict.check sys h2 with
+  | Conflict.Serializable order ->
+      Alcotest.(check (list int)) "equivalent serial order" [ 1; 0 ] order
+  | Conflict.Not_serializable _ -> Alcotest.fail "serial schedule must serialize"
+
+(* Enumeration *)
+
+let count_interleavings n1 n2 =
+  (* C(n1+n2, n1) *)
+  let rec binom n k =
+    if k = 0 then 1 else binom (n - 1) (k - 1) * n / k
+  in
+  binom (n1 + n2) n1
+
+let test_enumerate_counts () =
+  (* Two disjoint-entity transactions: every interleaving is legal. *)
+  let db = mkdb [ ("x", 1); ("y", 1) ] in
+  let t1 = Builder.locked_sequence db ~name:"T1" [ "x" ] in
+  let t2 = Builder.locked_sequence db ~name:"T2" [ "y" ] in
+  let sys = System.make db [ t1; t2 ] in
+  Util.check_int "all interleavings" (count_interleavings 3 3)
+    (Enumerate.count_legal sys);
+  (* Shared entity: locking forbids interleaved sections; count by hand:
+     the 3-step sections must not overlap, so schedules = 2 (T1 first or
+     T2 first)? No: sections can't interleave, but the whole transactions
+     are the sections here, so exactly 2 legal schedules. *)
+  let sys2 = tiny_pair () in
+  Util.check_int "exclusive sections" 2 (Enumerate.count_legal sys2)
+
+let qcheck_enumerated_legal =
+  Util.qtest ~count:30 "every enumerated schedule is legal and complete"
+    (Util.gen_with_state (fun st ->
+         Txn_gen.random_pair_system st ~num_shared:2 ~num_private:0
+           ~num_sites:2 ~cross_prob:0.5 ()))
+    (fun sys ->
+      let ok = ref true and n = ref 0 in
+      Enumerate.iter_legal sys (fun h ->
+          incr n;
+          if not (Legality.is_legal sys h) then ok := false);
+      !ok && !n > 0)
+
+let qcheck_random_legal =
+  Util.qtest ~count:50 "random_legal produces legal schedules"
+    (Util.gen_with_state (fun st ->
+         ( Txn_gen.random_pair_system st ~num_shared:3 ~num_private:1
+             ~num_sites:2 ~cross_prob:0.4 (),
+           st )))
+    (fun (sys, st) ->
+      match Enumerate.random_legal st sys with
+      | None -> true (* all attempts deadlocked: allowed *)
+      | Some h -> Legality.is_legal sys h)
+
+let test_deadlock_detection () =
+  let db = mkdb [ ("x", 1); ("y", 1) ] in
+  (* classic: T1 locks x then y, T2 locks y then x, two-phase *)
+  let t1 = Builder.two_phase_sequence db ~name:"T1" [ "x"; "y" ] in
+  let t2 = Builder.two_phase_sequence db ~name:"T2" [ "y"; "x" ] in
+  let sys = System.make db [ t1; t2 ] in
+  Util.check "deadlock reachable" true (Enumerate.has_deadlock sys);
+  (* same lock order: no deadlock *)
+  let db2 = mkdb [ ("x", 1); ("y", 1) ] in
+  let s1 = Builder.two_phase_sequence db2 ~name:"T1" [ "x"; "y" ] in
+  let s2 = Builder.two_phase_sequence db2 ~name:"T2" [ "x"; "y" ] in
+  Util.check "ordered locking avoids deadlock" false
+    (Enumerate.has_deadlock (System.make db2 [ s1; s2 ]))
+
+(* Herbrand semantics (the paper's definition of serializability) *)
+
+let test_interpretation_basic () =
+  let db = mkdb [ ("x", 1) ] in
+  let t1 = Builder.locked_sequence db ~name:"T1" [ "x" ] in
+  let t2 = Builder.locked_sequence db ~name:"T2" [ "x" ] in
+  let sys = System.make db [ t1; t2 ] in
+  let h12 = Schedule.serial sys [ 0; 1 ] and h21 = Schedule.serial sys [ 1; 0 ] in
+  (* the two serial orders write different terms: f2(f1(x0)) vs f1(f2(x0)) *)
+  Util.check "serial orders differ" false
+    (Interpretation.states_equal
+       (Interpretation.final_state sys h12)
+       (Interpretation.final_state sys h21));
+  (* each is (trivially) equivalent to itself *)
+  Util.check "h12 serializable" true (Interpretation.is_serializable sys h12);
+  (match Interpretation.equivalent_serial sys h12 with
+  | Some [ 0; 1 ] -> ()
+  | Some o ->
+      Alcotest.failf "wrong witness [%s]"
+        (String.concat ";" (List.map string_of_int o))
+  | None -> Alcotest.fail "expected witness")
+
+let test_interpretation_untouched_entities () =
+  let db = mkdb [ ("x", 1); ("y", 1) ] in
+  let t1 = Builder.locked_sequence db ~name:"T1" [ "x" ] in
+  let sys = System.make db [ t1 ] in
+  let h = Schedule.serial sys [ 0 ] in
+  let state = Interpretation.final_state sys h in
+  let y = Database.id_exn db "y" in
+  Util.check "y keeps its initial value" true
+    (Interpretation.equal_term (List.assoc y state) (Interpretation.initial y))
+
+(* The central semantic theorem of the implementation: the conflict-graph
+   test decides exactly the paper's all-interpretations serializability
+   (no blind reads or writes under the update semantics). *)
+let qcheck_conflict_equals_herbrand =
+  Util.qtest ~count:120 "conflict serializability = Herbrand serializability"
+    (Util.gen_with_state (fun st ->
+         ( Txn_gen.random_multi_system st ~num_txns:(2 + Random.State.int st 2)
+             ~num_entities:4 ~entities_per_txn:2
+             ~num_sites:(1 + Random.State.int st 2) ~with_updates:true
+             ~cross_prob:(Random.State.float st 1.0) (),
+           st )))
+    (fun (sys, st) ->
+      match Enumerate.random_legal st sys with
+      | None -> true
+      | Some h ->
+          Conflict.is_serializable sys h = Interpretation.is_serializable sys h)
+
+let test_to_string () =
+  let sys = tiny_pair () in
+  let h = Schedule.serial sys [ 0; 1 ] in
+  Alcotest.(check string) "paper notation" "Lx_1 x_1 Ux_1 Lx_2 x_2 Ux_2"
+    (Schedule.to_string sys h)
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "serial" `Quick test_serial;
+          Alcotest.test_case "incomplete" `Quick test_incomplete;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+        ] );
+      ( "legality",
+        [
+          Alcotest.test_case "lock exclusion" `Quick test_lock_exclusion;
+          Alcotest.test_case "order violation" `Quick test_order_violation;
+          Alcotest.test_case "unlock not held" `Quick test_unlock_not_held;
+        ] );
+      ( "conflict",
+        [ Alcotest.test_case "two entities" `Quick test_conflict_two_entities ] );
+      ( "interpretation",
+        [
+          Alcotest.test_case "basics" `Quick test_interpretation_basic;
+          Alcotest.test_case "untouched entities" `Quick test_interpretation_untouched_entities;
+          qcheck_conflict_equals_herbrand;
+        ] );
+      ( "enumerate",
+        [
+          Alcotest.test_case "counts" `Quick test_enumerate_counts;
+          Alcotest.test_case "deadlock" `Quick test_deadlock_detection;
+          qcheck_enumerated_legal;
+          qcheck_random_legal;
+        ] );
+    ]

@@ -1,0 +1,282 @@
+open Distlock_txn
+
+let mkdb entities =
+  let db = Database.create () in
+  Database.add_all db entities;
+  db
+
+let test_database () =
+  let db = mkdb [ ("x", 1); ("y", 2) ] in
+  Util.check_int "entities" 2 (Database.num_entities db);
+  Util.check_int "sites" 2 (Database.num_sites db);
+  Util.check_int "site of x" 1 (Database.site db (Database.id_exn db "x"));
+  Util.check "find" true (Database.find db "y" <> None);
+  Util.check "missing" true (Database.find db "z" = None);
+  (* re-adding same site is idempotent *)
+  let x = Database.id_exn db "x" in
+  Util.check_int "idempotent" x (Database.add db ~name:"x" ~site:1);
+  Alcotest.check_raises "conflicting site"
+    (Invalid_argument "Database.add: entity \"x\" already stored at site 1")
+    (fun () -> ignore (Database.add db ~name:"x" ~site:2));
+  Alcotest.(check (list int)) "entities_at 1" [ x ] (Database.entities_at db 1)
+
+let test_builder_errors () =
+  let db = mkdb [ ("x", 1) ] in
+  let fails = function Error _ -> true | Ok _ -> false in
+  Util.check "duplicate label" true
+    (fails
+       (Builder.make db ~name:"T" ~steps:[ ("a", `Lock "x"); ("a", `Unlock "x") ] ()));
+  Util.check "unknown entity" true
+    (fails (Builder.make db ~name:"T" ~steps:[ ("a", `Lock "nope") ] ()));
+  Util.check "unknown label in arc" true
+    (fails
+       (Builder.make db ~name:"T" ~steps:[ ("a", `Lock "x") ] ~arcs:[ ("a", "b") ] ()));
+  Util.check "cyclic arcs" true
+    (fails
+       (Builder.make db ~name:"T"
+          ~steps:[ ("a", `Lock "x"); ("b", `Unlock "x") ]
+          ~arcs:[ ("a", "b"); ("b", "a") ]
+          ()))
+
+let test_builder_conveniences () =
+  let db = mkdb [ ("x", 1); ("y", 1) ] in
+  let seq = Builder.locked_sequence db ~name:"S" [ "x"; "y" ] in
+  Util.check_int "sequence steps" 6 (Txn.num_steps seq);
+  Util.check "sequence total" true (Txn.is_total seq);
+  Util.check "sequence well-formed" true (Validate.check ~strict:true db seq = []);
+  let tp = Builder.two_phase_sequence db ~name:"P" [ "x"; "y" ] in
+  Util.check "two-phase well-formed" true (Validate.check ~strict:true db tp = []);
+  Util.check "locks precede unlocks" true
+    (Txn.precedes tp
+       (Option.get (Txn.lock_of tp (Database.id_exn db "y")))
+       (Option.get (Txn.unlock_of tp (Database.id_exn db "x"))))
+
+let test_txn_queries () =
+  let db = mkdb [ ("x", 1); ("y", 2) ] in
+  let t =
+    Builder.make_exn db ~name:"T"
+      ~steps:
+        [
+          ("Lx", `Lock "x"); ("ux", `Update "x"); ("Ux", `Unlock "x");
+          ("Ly", `Lock "y"); ("Uy", `Unlock "y");
+        ]
+      ~chains:[ [ "Lx"; "ux"; "Ux" ]; [ "Ly"; "Uy" ] ]
+      ()
+  in
+  let x = Database.id_exn db "x" and y = Database.id_exn db "y" in
+  Util.check "lock_of x" true (Txn.lock_of t x = Some 0);
+  Util.check "unlock_of x" true (Txn.unlock_of t x = Some 2);
+  Alcotest.(check (list int)) "updates x" [ 1 ] (Txn.updates_of t x);
+  Alcotest.(check (list int)) "locked entities" [ x; y ] (Txn.locked_entities t);
+  Alcotest.(check (list int)) "site 1 steps" [ 0; 1; 2 ] (Txn.steps_at_site t db 1);
+  Util.check "cross-site concurrent" true (Txn.concurrent t 0 3);
+  Util.check "label" true (Txn.label t 0 = "Lx")
+
+let test_validate_violations () =
+  let db = mkdb [ ("x", 1); ("y", 1) ] in
+  let has_violation t pred = List.exists pred (Validate.check db t) in
+  (* same-site steps concurrent *)
+  let bad_site =
+    Builder.make_exn db ~name:"B1"
+      ~steps:[ ("Lx", `Lock "x"); ("Ux", `Unlock "x"); ("Ly", `Lock "y"); ("Uy", `Unlock "y") ]
+      ~chains:[ [ "Lx"; "Ux" ]; [ "Ly"; "Uy" ] ]
+      ()
+  in
+  Util.check "site totality" true
+    (has_violation bad_site (function Validate.Site_not_total _ -> true | _ -> false));
+  (* unlock before lock *)
+  let bad_order =
+    Builder.make_exn db ~name:"B2"
+      ~steps:[ ("Ux", `Unlock "x"); ("Lx", `Lock "x") ]
+      ~chains:[ [ "Ux"; "Lx" ] ]
+      ()
+  in
+  Util.check "unlock before lock" true
+    (has_violation bad_order (function
+      | Validate.Unlock_not_after_lock _ -> true
+      | _ -> false));
+  (* lock without unlock *)
+  let orphan =
+    Builder.make_exn db ~name:"B3" ~steps:[ ("Lx", `Lock "x") ] ()
+  in
+  Util.check "orphan lock" true
+    (has_violation orphan (function Validate.Lock_without_unlock _ -> true | _ -> false));
+  (* update outside its section *)
+  let outside =
+    Builder.make_exn db ~name:"B4"
+      ~steps:[ ("ux", `Update "x"); ("Lx", `Lock "x"); ("Ux", `Unlock "x") ]
+      ~chains:[ [ "ux"; "Lx"; "Ux" ] ]
+      ()
+  in
+  Util.check "update outside" true
+    (has_violation outside (function
+      | Validate.Update_outside_section _ -> true
+      | _ -> false));
+  (* unprotected update *)
+  let naked = Builder.make_exn db ~name:"B5" ~steps:[ ("ux", `Update "x") ] () in
+  Util.check "naked update" true
+    (has_violation naked (function Validate.Update_without_lock _ -> true | _ -> false));
+  (* strict mode: empty section *)
+  let empty_section =
+    Builder.make_exn db ~name:"B6"
+      ~steps:[ ("Lx", `Lock "x"); ("Ux", `Unlock "x") ]
+      ~chains:[ [ "Lx"; "Ux" ] ]
+      ()
+  in
+  Util.check "relaxed accepts" true (Validate.check db empty_section = []);
+  Util.check "strict flags" true
+    (List.exists
+       (function Validate.Empty_section _ -> true | _ -> false)
+       (Validate.check ~strict:true db empty_section))
+
+let test_add_precedences_along () =
+  let db = mkdb [ ("x", 1); ("y", 2) ] in
+  let t =
+    Builder.make_exn db ~name:"T"
+      ~steps:[ ("Lx", `Lock "x"); ("Ux", `Unlock "x"); ("Ly", `Lock "y"); ("Uy", `Unlock "y") ]
+      ~chains:[ [ "Lx"; "Ux" ]; [ "Ly"; "Uy" ] ]
+      ()
+  in
+  (match Txn.add_precedences t [ (1, 2) ] with
+  | None -> Alcotest.fail "consistent extension"
+  | Some t' ->
+      Util.check "added" true (Txn.precedes t' 0 3);
+      Util.check "original intact" true (Txn.concurrent t 0 3));
+  Util.check "cyclic extension rejected" true
+    (Txn.add_precedences t [ (1, 0) ] = None);
+  let ext = [| 2; 0; 1; 3 |] in
+  let total = Txn.along t ext in
+  Util.check "along total" true (Txn.is_total total);
+  Util.check "along order" true (Txn.precedes total 2 0);
+  Alcotest.check_raises "bad extension"
+    (Invalid_argument "Txn.along: not a linear extension") (fun () ->
+      ignore (Txn.along t [| 1; 0; 2; 3 |]))
+
+let test_system () =
+  let db = mkdb [ ("x", 1); ("y", 2) ] in
+  let t1 = Builder.locked_sequence db ~name:"T1" [ "x"; "y" ] in
+  let t2 = Builder.locked_sequence db ~name:"T2" [ "x" ] in
+  let sys = System.make db [ t1; t2 ] in
+  Util.check_int "txns" 2 (System.num_txns sys);
+  Util.check_int "total steps" 9 (System.total_steps sys);
+  Alcotest.(check (list int)) "common" [ Database.id_exn db "x" ]
+    (System.common_locked sys 0 1);
+  Alcotest.(check (list int)) "sites used" [ 1; 2 ] (System.sites_used sys);
+  Alcotest.check_raises "duplicate names"
+    (Invalid_argument "System.make: duplicate transaction names") (fun () ->
+      ignore (System.make db [ t1; t1 ]))
+
+let qcheck_gen_well_formed =
+  Util.qtest ~count:100 "generated transactions are well-formed"
+    (Util.gen_with_state (fun st ->
+         let sys =
+           Txn_gen.random_pair_system st ~num_shared:(1 + Random.State.int st 4)
+             ~num_private:(Random.State.int st 3)
+             ~num_sites:(1 + Random.State.int st 4)
+             ~with_updates:(Random.State.bool st)
+             ~cross_prob:(Random.State.float st 1.0) ()
+         in
+         sys))
+    (fun sys -> System.validate sys = [])
+
+let qcheck_gen_total_when_cross1 =
+  Util.qtest ~count:50 "cross_prob 1.0 yields total orders"
+    (Util.gen_with_state (fun st ->
+         Txn_gen.random_pair_system st ~num_shared:3 ~num_private:1
+           ~num_sites:3 ~cross_prob:1.0 ()))
+    (fun sys ->
+      let t1, t2 = System.pair sys in
+      Txn.is_total t1 && Txn.is_total t2)
+
+let qcheck_multi_gen =
+  Util.qtest ~count:50 "multi-transaction generator is well-formed"
+    (Util.gen_with_state (fun st ->
+         Txn_gen.random_multi_system st ~num_txns:(2 + Random.State.int st 3)
+           ~num_entities:6 ~entities_per_txn:3
+           ~num_sites:(1 + Random.State.int st 3) ()))
+    (fun sys -> System.validate sys = [])
+
+let test_parse_roundtrip () =
+  let sys = Distlock_core.Figures.fig1 () in
+  let text = Parse.system_to_string sys in
+  match Parse.system_of_string text with
+  | Error m -> Alcotest.fail m
+  | Ok sys' ->
+      Util.check_int "txns" (System.num_txns sys) (System.num_txns sys');
+      let t, t' = (System.txn sys 0, System.txn sys' 0) in
+      Util.check_int "steps" (Txn.num_steps t) (Txn.num_steps t');
+      (* same precedence relations *)
+      Util.check "same order" true
+        (Distlock_order.Poset.equal (Txn.order t) (Txn.order t'));
+      Util.check "same steps" true
+        (Array.for_all2 Step.equal (Txn.steps t) (Txn.steps t'))
+
+let test_parse_errors () =
+  let bad = function Error _ -> true | Ok _ -> false in
+  Util.check "empty" true (bad (Parse.system_of_string ""));
+  Util.check "bad site" true
+    (bad (Parse.system_of_string "entity x @ zero\ntxn T {\nstep a lock x\n}\n"));
+  Util.check "unterminated" true
+    (bad (Parse.system_of_string "entity x @ 1\ntxn T {\nstep a lock x\n"));
+  Util.check "unknown action" true
+    (bad (Parse.system_of_string "entity x @ 1\ntxn T {\nstep a grab x\n}\n"));
+  Util.check "comments fine" true
+    (match
+       Parse.system_of_string
+         "# header\nentity x @ 1 # inline\ntxn T {\nstep a lock x\nstep b unlock x\nchain a b\n}\n"
+     with
+    | Ok sys -> System.total_steps sys = 2
+    | Error _ -> false)
+
+let test_pretty_columns () =
+  let db = mkdb [ ("x", 1); ("z", 2) ] in
+  let t =
+    Builder.make_exn db ~name:"T"
+      ~steps:[ ("Lx", `Lock "x"); ("Ux", `Unlock "x");
+               ("Lz", `Lock "z"); ("Uz", `Unlock "z") ]
+      ~chains:[ [ "Lx"; "Ux" ]; [ "Lz"; "Uz" ] ]
+      ()
+  in
+  let rendered = Pretty.site_columns db t in
+  let lines = String.split_on_char '\n' rendered in
+  (* header + 4 step rows + trailing blank *)
+  Util.check_int "line count" 6 (List.length lines);
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Util.check "header shows both sites" true
+    (match lines with
+    | h :: _ -> contains h "site 1" && contains h "site 2"
+    | [] -> false);
+  Util.check "Lz appears" true (contains rendered "Lz")
+
+let () =
+  Alcotest.run "txn"
+    [
+      ( "database",
+        [ Alcotest.test_case "intern and sites" `Quick test_database ] );
+      ( "builder",
+        [
+          Alcotest.test_case "errors" `Quick test_builder_errors;
+          Alcotest.test_case "conveniences" `Quick test_builder_conveniences;
+        ] );
+      ( "txn",
+        [
+          Alcotest.test_case "queries" `Quick test_txn_queries;
+          Alcotest.test_case "add_precedences/along" `Quick test_add_precedences_along;
+        ] );
+      ( "validate",
+        [ Alcotest.test_case "violations" `Quick test_validate_violations ] );
+      ("system", [ Alcotest.test_case "basic" `Quick test_system ]);
+      ( "generator",
+        [ qcheck_gen_well_formed; qcheck_gen_total_when_cross1; qcheck_multi_gen ] );
+      ( "pretty",
+        [ Alcotest.test_case "site columns" `Quick test_pretty_columns ] );
+      ( "parse",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+    ]
