@@ -20,6 +20,7 @@
      E10  Sec 6   repair by precedence insertion (the closing remark)
      E11  [7]     deadlock and safety are orthogonal axes
      E12  Sec 1   shared locks: the theory is unchanged
+     E13  --      decision-engine verdict cache and batch throughput
 
    Wall-clock tables are printed first; Bechamel micro-benchmarks (one
    Test.make per experiment family) run at the end. *)
@@ -533,6 +534,60 @@ let e12 () =
     [ 0.0; 0.3; 0.6; 1.0 ]
 
 (* ------------------------------------------------------------------ *)
+(* E13: decision-engine verdict cache and batch throughput *)
+
+let e13 () =
+  rule "E13 (engine): verdict cache hit rate and batch throughput";
+  let module E = Distlock_engine in
+  let rng = Random.State.make [| 13 |] in
+  (* A small pool of distinct systems, queried many times over: the
+     shape a verdict cache is for. *)
+  let pool =
+    List.init 10 (fun i ->
+        Txn_gen.random_pair_system rng
+          ~num_shared:(2 + (i mod 3))
+          ~num_private:1
+          ~num_sites:(2 + (i mod 2))
+          ~cross_prob:0.5 ())
+    @ List.init 2 (fun _ ->
+          Txn_gen.random_multi_system rng ~num_txns:3 ~num_entities:6
+            ~entities_per_txn:2 ~num_sites:2 ~cross_prob:0.6 ())
+  in
+  let pool = Array.of_list pool in
+  let queries =
+    List.init 400 (fun _ -> pool.(Random.State.int rng (Array.length pool)))
+  in
+  let n = List.length queries in
+  (* cache off: every query runs the full pipeline *)
+  let eng_off = Decision.create ~cache_capacity:0 () in
+  let off, t_off =
+    time (fun () -> List.map (Decision.decide eng_off) queries)
+  in
+  (* cache on, batch API: fingerprint dedup + LRU *)
+  let eng_on = Decision.create () in
+  let (on_, report), t_on =
+    time (fun () -> Decision.decide_batch eng_on queries)
+  in
+  let agree =
+    List.for_all2
+      (fun (a : _ E.Outcome.t) (b : _ E.Outcome.t) ->
+        E.Outcome.decided a = E.Outcome.decided b
+        && a.E.Outcome.procedure = b.E.Outcome.procedure)
+      off on_
+  in
+  let thr t = float_of_int n /. t in
+  pf "queries: %d over %d distinct systems; verdicts agree: %b\n" n
+    (Array.length pool) agree;
+  pf "cache off: %8.2f ms  (%10.0f decisions/s)\n" (ms t_off) (thr t_off);
+  pf "cache on:  %8.2f ms  (%10.0f decisions/s)  speedup: %.1fx\n" (ms t_on)
+    (thr t_on) (t_off /. t_on);
+  pf "hit rate: %.1f%% (%d dedup + %d cache hits / %d submitted)\n"
+    (100. *. E.Engine.hit_rate report)
+    report.E.Engine.batch_dedup_hits report.E.Engine.cache_hits
+    report.E.Engine.submitted;
+  Format.printf "%a@." E.Stats.pp (Decision.stats eng_on)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks *)
 
 let bechamel_benches () =
@@ -638,5 +693,6 @@ let () =
   e10 ();
   e11 ();
   e12 ();
+  e13 ();
   bechamel_benches ();
   pf "\ndone.\n"

@@ -2,6 +2,7 @@
 
    Subcommands:
      check     decide safety of a transaction system file
+     batch     decide many files at once through the cached engine
      dgraph    print D(T1,T2) (optionally as Graphviz)
      figures   print the paper's worked examples with verdicts
      reduce    encode a DIMACS CNF as a transaction system (Theorem 3)
@@ -10,6 +11,7 @@
 open Cmdliner
 open Distlock_core
 open Distlock_txn
+module E = Distlock_engine
 
 let read_file path =
   let ic = open_in_bin path in
@@ -25,14 +27,26 @@ let load_system path =
       Printf.eprintf "error: %s\n" msg;
       exit 2
 
+(* One engine instance shared by every decision the process makes, so
+   repeated systems (e.g. across `figures`) hit the verdict cache. *)
+let engine = lazy (Decision.create ())
+
+let print_stats (o : Decision.evidence E.Outcome.t) =
+  Format.printf "--@.procedure: %s%s@." (E.Outcome.provenance o)
+    (if o.E.Outcome.cached then " (cached)" else "");
+  Format.printf "%a@." E.Outcome.pp_trace o.E.Outcome.trace;
+  Format.printf "%a@." E.Stats.pp (Decision.stats (Lazy.force engine))
+
 (* Returns an exit status: 0 safe, 1 unsafe, 3 unknown. *)
-let print_verdict sys =
-  if System.num_txns sys = 2 then begin
-    match Safety.decide_pair sys with
-    | Safety.Safe why ->
-        Printf.printf "SAFE — %s\n" why;
+let print_outcome ?(stats = false) sys (o : Decision.evidence E.Outcome.t) =
+  let code =
+    match o.E.Outcome.verdict with
+    | E.Outcome.Safe ->
+        if System.num_txns sys = 2 then
+          Printf.printf "SAFE — %s\n" o.E.Outcome.detail
+        else Printf.printf "SAFE — Proposition 2\n";
         0
-    | Safety.Unsafe ev ->
+    | E.Outcome.Unsafe (Decision.Pair ev) ->
         Printf.printf "UNSAFE\n";
         (match ev with
         | Safety.Certificate c -> Format.printf "%a@." (Certificate.pp sys) c
@@ -40,32 +54,32 @@ let print_verdict sys =
             Printf.printf "non-serializable schedule:\n  %s\n"
               (Distlock_sched.Schedule.to_string sys h));
         1
-    | Safety.Unknown msg ->
+    | E.Outcome.Unsafe (Decision.Multi reason) ->
+        Printf.printf "UNSAFE — %s\n" (Decision.describe_multi sys reason);
+        1
+    | E.Outcome.Unknown msg ->
         Printf.printf "UNKNOWN — %s\n" msg;
         3
-  end
-  else begin
-    match Multisite.decide sys with
-    | Multisite.Safe ->
-        Printf.printf "SAFE — Proposition 2\n";
-        0
-    | Multisite.Unsafe (Multisite.Unsafe_pair (i, j)) ->
-        Printf.printf "UNSAFE — transactions %s and %s form an unsafe pair\n"
-          (Txn.name (System.txn sys i))
-          (Txn.name (System.txn sys j));
-        1
-    | Multisite.Unsafe (Multisite.Acyclic_bc cycle) ->
-        Printf.printf "UNSAFE — conflict-graph cycle (%s) has an acyclic B_c\n"
-          (String.concat " -> "
-             (List.map (fun i -> Txn.name (System.txn sys i)) cycle));
-        1
-  end
+  in
+  if stats then print_stats o;
+  code
+
+let print_verdict ?stats sys =
+  print_outcome ?stats sys (Decision.decide (Lazy.force engine) sys)
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Also print the deciding procedure, the per-stage pipeline trace, \
+           and the engine's cumulative counters")
+
 let check_cmd =
-  let run file =
+  let run file stats =
     let sys = load_system file in
     (match System.validate sys with
     | [] -> ()
@@ -75,11 +89,77 @@ let check_cmd =
             Printf.eprintf "warning: %s: %s\n" (Txn.name t)
               (Validate.to_string (System.db sys) t v))
           vs);
-    exit (print_verdict sys)
+    exit (print_verdict ~stats sys)
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Decide safety of a locked transaction system")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ stats_flag)
+
+let batch_cmd =
+  let run files repeat no_cache budget stats =
+    let named = List.map (fun f -> (f, load_system f)) files in
+    let named = List.concat (List.init (max 1 repeat) (fun _ -> named)) in
+    let budget =
+      match budget with
+      | Some n -> E.Budget.of_steps n
+      | None -> E.Budget.unlimited
+    in
+    let eng =
+      Decision.create ~cache_capacity:(if no_cache then 0 else 1024) ~budget ()
+    in
+    let outcomes, report =
+      Decision.decide_batch eng (List.map snd named)
+    in
+    List.iter2
+      (fun (file, sys) (o : Decision.evidence E.Outcome.t) ->
+        let line =
+          match o.E.Outcome.verdict with
+          | E.Outcome.Safe -> "SAFE — " ^ o.E.Outcome.detail
+          | E.Outcome.Unsafe (Decision.Pair _) ->
+              "UNSAFE — " ^ o.E.Outcome.detail
+          | E.Outcome.Unsafe (Decision.Multi reason) ->
+              "UNSAFE — " ^ Decision.describe_multi sys reason
+          | E.Outcome.Unknown msg -> "UNKNOWN — " ^ msg
+        in
+        Printf.printf "%s: %s%s\n" file line
+          (if o.E.Outcome.cached then " (cached)" else ""))
+      named outcomes;
+    Format.printf "%a@." E.Engine.pp_batch_report report;
+    if stats then Format.printf "%a@." E.Stats.pp (Decision.stats eng);
+    let code (o : Decision.evidence E.Outcome.t) =
+      match o.E.Outcome.verdict with
+      | E.Outcome.Safe -> 0
+      | E.Outcome.Unsafe _ -> 1
+      | E.Outcome.Unknown _ -> 3
+    in
+    exit (List.fold_left (fun acc o -> max acc (code o)) 0 outcomes)
+  in
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE...")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ]
+          ~doc:"Submit the file list $(docv) times (cache-behaviour demos)"
+          ~docv:"N")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the verdict cache")
+  in
+  let budget =
+    Arg.(
+      value & opt (some int) None
+      & info [ "budget" ]
+          ~doc:"Step budget per decision (caps the exhaustive stages)"
+          ~docv:"STEPS")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Decide many system files through the cached engine, with \
+          fingerprint deduplication and a hit-rate report")
+    Term.(const run $ files $ repeat $ no_cache $ budget $ stats_flag)
 
 let dgraph_cmd =
   let run file dot =
@@ -312,9 +392,9 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default
-          (Cmd.info "distlock" ~version:"1.0.0"
+          (Cmd.info "distlock" ~version:"1.1.0"
              ~doc:"Safety of distributed locked transactions (Kanellakis & \
                    Papadimitriou 1982)")
-          [ advise_cmd; check_cmd; analyze_cmd; dgraph_cmd; deadlock_cmd;
-            figures_cmd; plane_cmd; reduce_cmd; repair_cmd; show_cmd;
-            simulate_cmd ]))
+          [ advise_cmd; batch_cmd; check_cmd; analyze_cmd; dgraph_cmd;
+            deadlock_cmd; figures_cmd; plane_cmd; reduce_cmd; repair_cmd;
+            show_cmd; simulate_cmd ]))

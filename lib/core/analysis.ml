@@ -20,6 +20,7 @@ type t = {
   d_arcs : int;
   strongly_connected : bool;
   verdict : Safety.verdict;
+  decision : Checkers.evidence Distlock_engine.Outcome.t;
   policies : txn_policies list;
   deadlock : deadlock_info;
   repair : (int * int) option;
@@ -33,7 +34,13 @@ let pair ?exhaustive_budget ?(try_repair = true) sys =
       (System.validate sys)
   in
   let d = Dgraph.build_pair sys in
-  let verdict = Safety.decide_pair ?exhaustive_budget sys in
+  let budget =
+    match exhaustive_budget with
+    | Some n -> Distlock_engine.Budget.of_steps n
+    | None -> Distlock_engine.Budget.unlimited
+  in
+  let decision = Safety.decide ~budget sys in
+  let verdict = Safety.verdict_of_outcome decision in
   let t1, t2 = System.pair sys in
   let policies =
     List.map
@@ -74,6 +81,7 @@ let pair ?exhaustive_budget ?(try_repair = true) sys =
     d_arcs = Distlock_graph.Digraph.num_arcs (Dgraph.graph d);
     strongly_connected = Dgraph.is_strongly_connected d;
     verdict;
+    decision;
     policies;
     deadlock;
     repair;
@@ -129,3 +137,8 @@ let pp ppf r =
           Format.fprintf ppf "repair: no precedence insertion helps@,"
       | _ -> ()));
   Format.fprintf ppf "@]"
+
+let pp_decision ppf r =
+  Format.fprintf ppf "@[<v>procedure: %s@,%a@]"
+    (Distlock_engine.Outcome.provenance r.decision)
+    Distlock_engine.Outcome.pp_trace r.decision.Distlock_engine.Outcome.trace

@@ -26,6 +26,9 @@ type t = {
   d_arcs : int;
   strongly_connected : bool;
   verdict : Safety.verdict;
+  decision : Checkers.evidence Distlock_engine.Outcome.t;
+      (** The full engine outcome behind [verdict]: provenance, stage
+          trace, timings. *)
   policies : txn_policies list;
   deadlock : deadlock_info;
   repair : (int * int) option;
@@ -37,3 +40,7 @@ val pair : ?exhaustive_budget:int -> ?try_repair:bool -> System.t -> t
 (** [try_repair] defaults to [true]. *)
 
 val pp : Format.formatter -> t -> unit
+
+val pp_decision : Format.formatter -> t -> unit
+(** The engine view of the verdict: deciding procedure plus the
+    per-stage trace (status, detail, elapsed time per stage). *)

@@ -17,7 +17,7 @@ let safe_by_schedules ?(limit = 20_000_000) sys =
 
 exception Found of Schedule.t
 
-let safe_by_extensions ?(limit = max_int) sys =
+let safe_by_extensions ?(limit = 50_000_000) sys =
   let t1, t2 = System.pair sys in
   let examined = ref 0 in
   try

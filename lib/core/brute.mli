@@ -23,7 +23,10 @@ val safe_by_schedules : ?limit:int -> System.t -> verdict
 val safe_by_extensions : ?limit:int -> System.t -> verdict
 (** Two-transaction systems. The returned schedule is the separating path
     of the first unsafe picture found. Raises [Failure] after examining
-    [limit] extension pairs (default unlimited). *)
+    [limit] extension pairs. The default, [50_000_000], bounds worst-case
+    runtime to minutes rather than letting a pair of wide partial orders
+    (the extension count is a product of factorials) run unbounded; pass
+    an explicit [limit] — including [max_int] — to raise it. *)
 
 val is_safe : System.t -> bool
 (** [safe_by_schedules] with defaults. *)

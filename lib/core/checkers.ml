@@ -1,0 +1,98 @@
+open Distlock_txn
+open Distlock_sched
+module E = Distlock_engine
+
+type evidence =
+  | Certificate of Certificate.t
+  | Counterexample of Schedule.t
+
+let schedule_of_evidence = function
+  | Certificate c -> c.Certificate.schedule
+  | Counterexample h -> h
+
+type t = (System.t, evidence) E.Checker.t
+
+let is_pair sys = System.num_txns sys = 2
+
+let trivial =
+  E.Checker.make ~name:"trivial" ~procedure:E.Checker.Trivial
+    ~cost:E.Checker.Polynomial ~applicable:is_pair
+    ~run:(fun _ sys ->
+      if Dgraph.num_vertices (Dgraph.build_pair sys) < 2 then
+        E.Checker.Safe "fewer than two commonly locked entities"
+      else E.Checker.Pass "two or more commonly locked entities")
+
+let theorem1 =
+  E.Checker.make ~name:"theorem1" ~procedure:E.Checker.Theorem_1
+    ~cost:E.Checker.Polynomial ~applicable:is_pair
+    ~run:(fun _ sys ->
+      if Dgraph.is_strongly_connected (Dgraph.build_pair sys) then
+        E.Checker.Safe "Theorem 1: D(T1,T2) strongly connected"
+      else E.Checker.Pass "D(T1,T2) not strongly connected")
+
+let twosite =
+  E.Checker.make ~name:"two-site" ~procedure:E.Checker.Theorem_2
+    ~cost:E.Checker.Polynomial
+    ~applicable:(fun sys ->
+      is_pair sys && List.length (System.sites_used sys) <= 2)
+    ~run:(fun _ sys ->
+      match Twosite.decide sys with
+      | Twosite.Safe ->
+          E.Checker.Safe "Theorem 2 (unreachable: D not strongly connected)"
+      | Twosite.Unsafe cert ->
+          E.Checker.Unsafe
+            ( "Theorem 2: certificate from the dominator closure",
+              Certificate cert ))
+
+let proposition1 =
+  E.Checker.make ~name:"geometric" ~procedure:E.Checker.Proposition_1
+    ~cost:E.Checker.Polynomial
+    ~applicable:(fun sys ->
+      is_pair sys
+      &&
+      let t1, t2 = System.pair sys in
+      Txn.is_total t1 && Txn.is_total t2)
+    ~run:(fun _ sys ->
+      let plane = Distlock_geometry.Plane.make sys in
+      match Distlock_geometry.Separation.decide plane with
+      | Distlock_geometry.Separation.Safe ->
+          E.Checker.Safe
+            "Proposition 1: the unique picture admits no separating curve"
+      | Distlock_geometry.Separation.Unsafe { schedule; _ } ->
+          E.Checker.Unsafe
+            ( "Proposition 1: a separating monotone curve exists",
+              Counterexample schedule ))
+
+let corollary2 =
+  E.Checker.make ~name:"closure" ~procedure:E.Checker.Corollary_2
+    ~cost:E.Checker.Exponential ~applicable:is_pair
+    ~run:(fun _ sys ->
+      match Closure.first_unsafe_dominator sys with
+      | Some (dominator, closed) -> (
+          match Certificate.construct ~original:sys ~closed ~dominator with
+          | Ok cert ->
+              E.Checker.Unsafe
+                ( "Corollary 2: a dominator of D(T1,T2) closes",
+                  Certificate cert )
+          | Error msg ->
+              E.Checker.Error
+                ("Corollary 2: certificate construction failed: " ^ msg))
+      | None -> E.Checker.Pass "no dominator of D(T1,T2) closes"
+      | exception Failure msg -> E.Checker.Error msg)
+
+let lemma1 =
+  E.Checker.make ~name:"exhaustive" ~procedure:E.Checker.Lemma_1
+    ~cost:E.Checker.Exponential ~applicable:is_pair
+    ~run:(fun meter sys ->
+      let limit = E.Budget.step_allowance meter ~default:2_000_000 in
+      match Brute.safe_by_extensions ~limit sys with
+      | Brute.Safe ->
+          E.Checker.Safe "Lemma 1: exhaustive check of all extension pairs"
+      | Brute.Unsafe h ->
+          E.Checker.Unsafe
+            ( "Lemma 1: some picture admits a separating curve",
+              Counterexample h )
+      | exception Failure msg -> E.Checker.Error msg)
+
+let pair_checkers =
+  [ trivial; theorem1; twosite; proposition1; corollary2; lemma1 ]

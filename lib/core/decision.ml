@@ -1,0 +1,53 @@
+open Distlock_txn
+module E = Distlock_engine
+
+type evidence =
+  | Pair of Checkers.evidence
+  | Multi of Multisite.unsafe_reason
+
+let proposition2 =
+  E.Checker.make ~name:"multisite" ~procedure:E.Checker.Proposition_2
+    ~cost:E.Checker.Exponential
+    ~applicable:(fun sys -> System.num_txns sys <> 2)
+    ~run:(fun meter sys ->
+      match Multisite.decide ~budget:(E.Budget.budget meter) sys with
+      | Multisite.Safe ->
+          E.Checker.Safe
+            "Proposition 2: all conflicting pairs safe and every \
+             conflict-graph cycle has a cyclic B_c"
+      | Multisite.Unsafe reason ->
+          E.Checker.Unsafe
+            ("Proposition 2: unsafety witness found", Multi reason)
+      | exception Failure msg -> E.Checker.Error msg)
+
+let checkers =
+  List.map
+    (E.Checker.map_evidence (fun ev -> Pair ev))
+    Checkers.pair_checkers
+  @ [ proposition2 ]
+
+type t = (System.t, evidence) E.Engine.t
+
+let create ?(cache_capacity = 1024) ?budget () =
+  E.Engine.create ~cache_capacity ?budget ~fingerprint:System.fingerprint
+    checkers
+
+let decide ?budget t sys = E.Engine.decide ?budget t sys
+
+let decide_batch ?budget t syss = E.Engine.decide_batch ?budget t syss
+
+let stats = E.Engine.stats
+
+let describe_multi sys = function
+  | Multisite.Unsafe_pair (i, j) ->
+      Printf.sprintf "transactions %s and %s form an unsafe pair"
+        (Txn.name (System.txn sys i))
+        (Txn.name (System.txn sys j))
+  | Multisite.Acyclic_bc cycle ->
+      Printf.sprintf "conflict-graph cycle (%s) has an acyclic B_c"
+        (String.concat " -> "
+           (List.map (fun i -> Txn.name (System.txn sys i)) cycle))
+
+let schedule_of_evidence = function
+  | Pair ev -> Some (Checkers.schedule_of_evidence ev)
+  | Multi _ -> None

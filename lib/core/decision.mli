@@ -1,0 +1,60 @@
+open Distlock_txn
+
+(** The full safety-decision service: the staged pair pipeline of
+    {!Checkers} extended with the Proposition 2 multi-transaction
+    criterion, wired into a [Distlock_engine.Engine] instance with a
+    fingerprint-keyed LRU verdict cache, batch deduplication, and
+    per-stage instrumentation.
+
+    This is what the CLI, the benchmarks, and the simulator consult; it
+    subsumes calling {!Safety.decide_pair} / {!Multisite.decide}
+    directly, which remain as thin stateless compatibility wrappers. *)
+
+type evidence =
+  | Pair of Checkers.evidence
+      (** Two-transaction unsafety: certificate or counterexample. *)
+  | Multi of Multisite.unsafe_reason
+      (** Proposition 2: an unsafe conflicting pair, or a conflict-graph
+          cycle with acyclic [B_c]. *)
+
+val proposition2 : (System.t, evidence) Distlock_engine.Checker.t
+(** Applicable to any system that is not a pair; runs
+    {!Multisite.decide} under the stage budget. *)
+
+val checkers : (System.t, evidence) Distlock_engine.Checker.t list
+(** {!Checkers.pair_checkers} (with evidence wrapped in {!Pair})
+    followed by {!proposition2}. *)
+
+type t = (System.t, evidence) Distlock_engine.Engine.t
+
+val create :
+  ?cache_capacity:int -> ?budget:Distlock_engine.Budget.t -> unit -> t
+(** A fresh engine keyed by {!System.fingerprint}. [cache_capacity]
+    (default [1024]) bounds the LRU verdict cache; [0] disables caching
+    entirely. [budget] (default unlimited) applies to every decision
+    unless overridden per call. Decided verdicts are cached; [Unknown]
+    outcomes never are, since they depend on the budget in force. *)
+
+val decide :
+  ?budget:Distlock_engine.Budget.t ->
+  t ->
+  System.t ->
+  evidence Distlock_engine.Outcome.t
+
+val decide_batch :
+  ?budget:Distlock_engine.Budget.t ->
+  t ->
+  System.t list ->
+  evidence Distlock_engine.Outcome.t list
+  * Distlock_engine.Engine.batch_report
+(** Deduplicates by fingerprint within the batch and against the cache;
+    the report carries hit counts, per-procedure tallies, and wall time. *)
+
+val stats : t -> Distlock_engine.Stats.t
+
+val describe_multi : System.t -> Multisite.unsafe_reason -> string
+(** Human-readable rendering with transaction names, e.g.
+    ["transactions T1 and T3 form an unsafe pair"]. *)
+
+val schedule_of_evidence : evidence -> Distlock_sched.Schedule.t option
+(** The witness schedule when the evidence carries one ([Pair]). *)

@@ -123,11 +123,11 @@ let simple_cycles g =
   done;
   !cycles
 
-let decide ?pair_decider sys =
+let decide ?pair_decider ?budget sys =
   let pair_safe =
     match pair_decider with
     | Some f -> f
-    | None -> fun pair_sys -> Safety.is_safe_exn pair_sys
+    | None -> fun pair_sys -> Safety.is_safe_exn ?budget pair_sys
   in
   let r = System.num_txns sys in
   (* (a) all two-transaction subsystems safe *)

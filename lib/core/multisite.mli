@@ -42,6 +42,10 @@ val simple_cycles : Digraph.t -> int list list
     (smallest vertex first), both orientations included. *)
 
 val decide :
-  ?pair_decider:(System.t -> bool) -> System.t -> verdict
+  ?pair_decider:(System.t -> bool) ->
+  ?budget:Distlock_engine.Budget.t ->
+  System.t ->
+  verdict
 (** [pair_decider] decides safety of each two-transaction subsystem
-    (default: {!Safety.is_safe_exn}). *)
+    (default: {!Safety.is_safe_exn}, run under [budget] if given;
+    [budget] is ignored when an explicit [pair_decider] is supplied). *)

@@ -1,7 +1,8 @@
 open Distlock_txn
 open Distlock_sched
+module E = Distlock_engine
 
-type unsafety_evidence =
+type unsafety_evidence = Checkers.evidence =
   | Certificate of Certificate.t
   | Counterexample of Schedule.t
 
@@ -10,47 +11,25 @@ type verdict =
   | Unsafe of unsafety_evidence
   | Unknown of string
 
-let schedule_of_evidence = function
-  | Certificate c -> c.Certificate.schedule
-  | Counterexample h -> h
+let schedule_of_evidence = Checkers.schedule_of_evidence
 
-let decide_pair ?(exhaustive_budget = 2_000_000) sys =
+let decide ?(budget = E.Budget.unlimited) sys =
   if System.num_txns sys <> 2 then
     invalid_arg "Safety.decide_pair: not a two-transaction system";
-  let d = Dgraph.build_pair sys in
-  if Dgraph.num_vertices d < 2 then
-    Safe "fewer than two commonly locked entities"
-  else if Dgraph.is_strongly_connected d then
-    Safe "Theorem 1: D(T1,T2) strongly connected"
-  else begin
-    let two_sites = List.length (System.sites_used sys) <= 2 in
-    if two_sites then begin
-      match Twosite.decide sys with
-      | Twosite.Safe -> Safe "Theorem 2 (unreachable: D not strongly connected)"
-      | Twosite.Unsafe cert -> Unsafe (Certificate cert)
-    end
-    else begin
-      (* Corollary 2: look for a dominator whose closure succeeds. *)
-      match Closure.first_unsafe_dominator sys with
-      | Some (dominator, closed) -> (
-          match Certificate.construct ~original:sys ~closed ~dominator with
-          | Ok cert -> Unsafe (Certificate cert)
-          | Error msg -> failwith ("Safety.decide_pair: " ^ msg))
-      | None | (exception Failure _) -> (
-          (* No dominator closes: inconclusive beyond two sites (Fig 5);
-             fall back to the Lemma 1 oracle within budget. *)
-          match Brute.safe_by_extensions ~limit:exhaustive_budget sys with
-          | Brute.Safe -> Safe "Lemma 1: exhaustive check of all extension pairs"
-          | Brute.Unsafe h -> Unsafe (Counterexample h)
-          | exception Failure _ ->
-              Unknown
-                "more than two sites, no closing dominator, and the system \
-                 exceeds the exhaustive-search budget")
-    end
-  end
+  E.Engine.run ~budget Checkers.pair_checkers sys
 
-let is_safe_exn sys =
-  match decide_pair sys with
+let verdict_of_outcome (o : Checkers.evidence E.Outcome.t) =
+  match o.E.Outcome.verdict with
+  | E.Outcome.Safe -> Safe o.E.Outcome.detail
+  | E.Outcome.Unsafe ev -> Unsafe ev
+  | E.Outcome.Unknown msg -> Unknown msg
+
+let decide_pair ?(exhaustive_budget = 2_000_000) sys =
+  verdict_of_outcome
+    (decide ~budget:(E.Budget.of_steps exhaustive_budget) sys)
+
+let is_safe_exn ?budget sys =
+  match verdict_of_outcome (decide ?budget sys) with
   | Safe _ -> true
   | Unsafe _ -> false
   | Unknown msg -> failwith msg

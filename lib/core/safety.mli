@@ -3,29 +3,52 @@ open Distlock_sched
 
 (** Top-level safety dispatcher for two-transaction systems.
 
-    Picks the strongest applicable result: Theorem 1 (sufficiency, any
-    sites), Theorem 2 (exact, two sites), Corollary 2 (dominator closure
-    sweep, any sites), and finally the exponential oracle — mirroring the
-    paper's structure, where polynomial certainty is available up to two
-    sites and the general problem is coNP-complete (Theorem 3). *)
+    Since the engine refactor this module is a thin compatibility shim:
+    the staged cascade now lives in {!Checkers.pair_checkers} and runs
+    through the generic [Distlock_engine] pipeline, which gives every
+    verdict provenance (which theorem decided), per-stage timings, and
+    explicit budget control. {!decide} exposes the full structured
+    outcome; {!decide_pair} keeps the historical [verdict] API.
 
-type unsafety_evidence =
+    Stage order: Theorem 1 (sufficiency, any sites), Theorem 2 (exact,
+    two sites), Proposition 1 (exact for totally ordered pairs),
+    Corollary 2 (dominator closure sweep, any sites), and finally the
+    Lemma 1 exponential oracle — mirroring the paper's structure, where
+    polynomial certainty is available up to two sites and the general
+    problem is coNP-complete (Theorem 3). *)
+
+type unsafety_evidence = Checkers.evidence =
   | Certificate of Certificate.t
       (** Dominator-closure construction (Theorem 2 / Corollary 2). *)
-  | Counterexample of Schedule.t  (** Found by exhaustive search. *)
+  | Counterexample of Schedule.t
+      (** Found geometrically (Proposition 1 / Lemma 1). *)
 
 type verdict =
   | Safe of string  (** Why: which theorem concluded safety. *)
   | Unsafe of unsafety_evidence
   | Unknown of string
-      (** More than two sites, no dominator closes, and the system exceeds
-          the exhaustive-search budget. *)
+      (** No stage decided within budget — e.g. more than two sites, no
+          dominator closes, and the system exceeds the exhaustive-search
+          budget; or an internal stage error (which the outcome's trace
+          records instead of swallowing). *)
+
+val decide :
+  ?budget:Distlock_engine.Budget.t ->
+  System.t ->
+  Checkers.evidence Distlock_engine.Outcome.t
+(** The full engine outcome: verdict plus provenance, per-stage trace,
+    and elapsed time. Raises [Invalid_argument] unless the system has
+    exactly two transactions. Stateless — no verdict cache; use
+    {!Decision} for the cached, batched service. *)
+
+val verdict_of_outcome : Checkers.evidence Distlock_engine.Outcome.t -> verdict
 
 val decide_pair : ?exhaustive_budget:int -> System.t -> verdict
-(** [exhaustive_budget] (default [2_000_000]) caps the number of schedules
-    the final fallback may enumerate. *)
+(** Historical API. [exhaustive_budget] (default [2_000_000]) caps the
+    number of extension pairs the final Lemma 1 fallback may enumerate,
+    via {!Distlock_engine.Budget.of_steps}. *)
 
-val is_safe_exn : System.t -> bool
-(** Like {!decide_pair} but raises [Failure] on [Unknown]. *)
+val is_safe_exn : ?budget:Distlock_engine.Budget.t -> System.t -> bool
+(** Like {!decide} but raises [Failure] on [Unknown]. *)
 
 val schedule_of_evidence : unsafety_evidence -> Schedule.t

@@ -1,0 +1,37 @@
+type t = { max_steps : int option; max_seconds : float option }
+
+let unlimited = { max_steps = None; max_seconds = None }
+
+let make ?max_steps ?max_seconds () =
+  (match max_steps with
+  | Some n when n < 0 -> invalid_arg "Budget.make: negative max_steps"
+  | _ -> ());
+  (match max_seconds with
+  | Some s when s < 0. -> invalid_arg "Budget.make: negative max_seconds"
+  | _ -> ());
+  { max_steps; max_seconds }
+
+let of_steps n = make ~max_steps:n ()
+
+let describe t =
+  match (t.max_steps, t.max_seconds) with
+  | None, None -> "unlimited"
+  | Some n, None -> Printf.sprintf "%d steps" n
+  | None, Some s -> Printf.sprintf "%.3f s" s
+  | Some n, Some s -> Printf.sprintf "%d steps, %.3f s" n s
+
+type meter = { spec : t; started : float }
+
+let start spec = { spec; started = Sys.time () }
+
+let budget m = m.spec
+
+let elapsed m = Sys.time () -. m.started
+
+(* [>=] so that [max_seconds = 0.] deterministically means "no time at
+   all" regardless of clock granularity. *)
+let expired m =
+  match m.spec.max_seconds with None -> false | Some s -> elapsed m >= s
+
+let step_allowance m ~default =
+  match m.spec.max_steps with None -> default | Some n -> n

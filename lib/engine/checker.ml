@@ -1,0 +1,55 @@
+type procedure =
+  | Trivial
+  | Theorem_1
+  | Theorem_2
+  | Proposition_1
+  | Corollary_2
+  | Lemma_1
+  | Proposition_2
+  | Custom of string
+
+let procedure_label = function
+  | Trivial -> "trivial"
+  | Theorem_1 -> "Thm 1"
+  | Theorem_2 -> "Thm 2"
+  | Proposition_1 -> "Prop 1"
+  | Corollary_2 -> "Cor 2"
+  | Lemma_1 -> "Lemma 1"
+  | Proposition_2 -> "Prop 2"
+  | Custom s -> s
+
+type cost = Constant | Polynomial | Exponential
+
+let cost_label = function
+  | Constant -> "O(1)"
+  | Polynomial -> "poly"
+  | Exponential -> "exp"
+
+type 'ev stage_result =
+  | Safe of string
+  | Unsafe of string * 'ev
+  | Pass of string
+  | Error of string
+
+type ('sys, 'ev) t = {
+  name : string;
+  procedure : procedure;
+  cost : cost;
+  applicable : 'sys -> bool;
+  run : Budget.meter -> 'sys -> 'ev stage_result;
+}
+
+let make ~name ~procedure ~cost ~applicable ~run =
+  { name; procedure; cost; applicable; run }
+
+let map_evidence f c =
+  {
+    c with
+    run =
+      (fun meter sys ->
+        match c.run meter sys with
+        | Safe d -> Safe d
+        | Unsafe (d, ev) -> Unsafe (d, f ev)
+        | Pass d -> Pass d
+        | Error d -> Error d);
+  }

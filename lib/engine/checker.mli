@@ -1,0 +1,63 @@
+(** First-class decision procedures ("checkers").
+
+    Each of the paper's deciders becomes a value of type [('sys, 'ev) t]:
+    a named stage with a provenance tag, a cost class, an applicability
+    predicate, and a budgeted [run] function returning a structured
+    {!stage_result} instead of free-form strings or silently-swallowed
+    exceptions. The {!Engine} runs a list of checkers as a staged
+    pipeline, cheapest and strongest first.
+
+    The types are polymorphic in the subject ['sys] and the unsafety
+    evidence ['ev] so this library stays independent of the transaction
+    model; the concrete checker table for the paper's procedures lives in
+    [Distlock_core.Checkers]. *)
+
+(** Which result of the paper a verdict rests on. *)
+type procedure =
+  | Trivial  (** Degenerate instances (e.g. fewer than two common entities). *)
+  | Theorem_1  (** Strong connectivity of [D(T1,T2)] — sufficient, any sites. *)
+  | Theorem_2  (** The exact two-site decision with closure certificates. *)
+  | Proposition_1  (** The geometric separation test on total orders. *)
+  | Corollary_2  (** The dominator-closure sweep, any number of sites. *)
+  | Lemma_1  (** Exhaustive check of all extension pairs. *)
+  | Proposition_2  (** The many-transaction criterion ([G], [B_c] cycles). *)
+  | Custom of string  (** Extension point for non-paper procedures. *)
+
+val procedure_label : procedure -> string
+(** Short paper-style label: ["Thm 1"], ["Prop 1"], ["Cor 2"], … *)
+
+(** Asymptotic cost class, used to order stages and decide what a
+    deadline-expired pipeline may still skip. *)
+type cost = Constant | Polynomial | Exponential
+
+val cost_label : cost -> string
+
+(** What one stage concluded about one subject. *)
+type 'ev stage_result =
+  | Safe of string  (** Decided safe; the string says why. *)
+  | Unsafe of string * 'ev  (** Decided unsafe, with evidence. *)
+  | Pass of string  (** Inconclusive here; try the next stage. *)
+  | Error of string
+      (** The stage itself failed (budget exceeded, construction error).
+          Recorded in the trace and surfaced in an [Unknown] verdict if no
+          later stage decides — never silently masked. *)
+
+type ('sys, 'ev) t = {
+  name : string;
+  procedure : procedure;
+  cost : cost;
+  applicable : 'sys -> bool;
+  run : Budget.meter -> 'sys -> 'ev stage_result;
+}
+
+val make :
+  name:string ->
+  procedure:procedure ->
+  cost:cost ->
+  applicable:('sys -> bool) ->
+  run:(Budget.meter -> 'sys -> 'ev stage_result) ->
+  ('sys, 'ev) t
+
+val map_evidence : ('a -> 'b) -> ('sys, 'a) t -> ('sys, 'b) t
+(** Lift a checker into a wider evidence type (used to combine the
+    two-transaction table with the many-transaction checker). *)

@@ -1,0 +1,220 @@
+type ('sys, 'ev) t = {
+  checkers : ('sys, 'ev) Checker.t list;
+  fingerprint : 'sys -> string;
+  cache : 'ev Outcome.t Lru.t option;
+  stats : Stats.t;
+  default_budget : Budget.t;
+}
+
+let create ?(cache_capacity = 1024) ?(budget = Budget.unlimited) ~fingerprint
+    checkers =
+  if checkers = [] then invalid_arg "Engine.create: no checkers";
+  {
+    checkers;
+    fingerprint;
+    cache =
+      (if cache_capacity <= 0 then None
+       else Some (Lru.create ~capacity:cache_capacity));
+    stats = Stats.create ();
+    default_budget = budget;
+  }
+
+let checkers t = t.checkers
+
+let stats t = t.stats
+
+let cache_len t = match t.cache with None -> 0 | Some c -> Lru.length c
+
+let clear_cache t = match t.cache with None -> () | Some c -> Lru.clear c
+
+(* One staged pass over the pipeline. Applicable stages run in order;
+   once the deadline has expired the remaining ones are marked Skipped.
+   A stage Error is recorded and the pipeline continues — the final
+   Unknown carries every error so nothing is silently masked. *)
+let run ?stats ?(budget = Budget.unlimited) checkers sys =
+  let meter = Budget.start budget in
+  let trace = ref [] in
+  let record (entry : Outcome.stage_trace) unsafe =
+    trace := entry :: !trace;
+    match stats with
+    | None -> ()
+    | Some st ->
+        Stats.record_stage st ~name:entry.Outcome.stage
+          (entry.Outcome.status, unsafe)
+          entry.Outcome.seconds
+  in
+  let finish verdict procedure detail =
+    let unknown = match verdict with Outcome.Unknown _ -> true | _ -> false in
+    (match stats with
+    | None -> ()
+    | Some st -> Stats.record_decision st ~cached:false ~unknown);
+    {
+      Outcome.verdict;
+      procedure;
+      detail;
+      trace = List.rev !trace;
+      seconds = Budget.elapsed meter;
+      cached = false;
+    }
+  in
+  let rec go = function
+    | [] ->
+        let errors =
+          List.filter_map
+            (fun (s : Outcome.stage_trace) ->
+              match s.Outcome.status with
+              | Outcome.Errored -> Some s.Outcome.detail
+              | _ -> None)
+            (List.rev !trace)
+        in
+        let skipped =
+          List.exists
+            (fun (s : Outcome.stage_trace) -> s.Outcome.status = Outcome.Skipped)
+            !trace
+        in
+        let msg =
+          if errors <> [] then String.concat "; " errors
+          else if skipped then
+            "budget deadline expired before a decisive procedure could run"
+          else "no applicable procedure decided the system"
+        in
+        finish (Outcome.Unknown msg) None msg
+    | (c : _ Checker.t) :: rest ->
+        if not (c.Checker.applicable sys) then go rest
+        else if Budget.expired meter then begin
+          record
+            {
+              Outcome.stage = c.Checker.name;
+              procedure = c.Checker.procedure;
+              status = Outcome.Skipped;
+              detail = "budget deadline expired";
+              seconds = 0.;
+            }
+            false;
+          go rest
+        end
+        else begin
+          let t0 = Sys.time () in
+          let result =
+            try c.Checker.run meter sys with
+            | Failure msg -> Checker.Error msg
+            | Invalid_argument msg -> Checker.Error ("invalid argument: " ^ msg)
+          in
+          let dt = Sys.time () -. t0 in
+          let entry status detail =
+            {
+              Outcome.stage = c.Checker.name;
+              procedure = c.Checker.procedure;
+              status;
+              detail;
+              seconds = dt;
+            }
+          in
+          match result with
+          | Checker.Safe detail ->
+              record (entry Outcome.Decided detail) false;
+              finish Outcome.Safe (Some c.Checker.procedure) detail
+          | Checker.Unsafe (detail, ev) ->
+              record (entry Outcome.Decided detail) true;
+              finish (Outcome.Unsafe ev) (Some c.Checker.procedure) detail
+          | Checker.Pass detail ->
+              record (entry Outcome.Passed detail) false;
+              go rest
+          | Checker.Error detail ->
+              record (entry Outcome.Errored detail) false;
+              go rest
+        end
+  in
+  go checkers
+
+let decide ?budget t sys =
+  let budget = Option.value budget ~default:t.default_budget in
+  let fp = t.fingerprint sys in
+  match Option.bind t.cache (fun c -> Lru.find c fp) with
+  | Some o ->
+      Stats.record_decision t.stats ~cached:true
+        ~unknown:(not (Outcome.decided o));
+      { o with Outcome.cached = true }
+  | None ->
+      if t.cache <> None then Stats.record_cache_miss t.stats;
+      let o = run ~stats:t.stats ~budget t.checkers sys in
+      (match (t.cache, o.Outcome.verdict) with
+      | Some _, Outcome.Unknown _ -> () (* budget-dependent: never cached *)
+      | Some c, _ -> Lru.add c fp o
+      | None, _ -> ());
+      o
+
+type batch_report = {
+  submitted : int;
+  unique : int;
+  batch_dedup_hits : int;
+  cache_hits : int;
+  cache_misses : int;
+  batch_seconds : float;
+  per_procedure : (string * int) list;
+}
+
+let hit_rate r =
+  if r.submitted = 0 then 0.
+  else
+    float_of_int (r.batch_dedup_hits + r.cache_hits)
+    /. float_of_int r.submitted
+
+let decide_batch ?budget t syss =
+  let t0 = Sys.time () in
+  let seen : (string, 'a Outcome.t) Hashtbl.t = Hashtbl.create 64 in
+  let fps = Hashtbl.create 64 in
+  let dedup = ref 0 and hits = ref 0 and misses = ref 0 in
+  let procs = ref [] in
+  let bump_proc (o : _ Outcome.t) =
+    let label = Outcome.provenance o in
+    procs :=
+      (match List.assoc_opt label !procs with
+      | Some n -> (label, n + 1) :: List.remove_assoc label !procs
+      | None -> (label, 1) :: !procs)
+  in
+  let outcomes =
+    List.map
+      (fun sys ->
+        let fp = t.fingerprint sys in
+        Hashtbl.replace fps fp ();
+        match Hashtbl.find_opt seen fp with
+        | Some o ->
+            incr dedup;
+            { o with Outcome.cached = true }
+        | None ->
+            let o = decide ?budget t sys in
+            if o.Outcome.cached then incr hits else incr misses;
+            (* Unknowns are not replicated across the batch either: a
+               duplicate of an undecided system re-runs the pipeline. *)
+            if Outcome.decided o then Hashtbl.replace seen fp o;
+            bump_proc o;
+            o)
+      syss
+  in
+  let report =
+    {
+      submitted = List.length syss;
+      unique = Hashtbl.length fps;
+      batch_dedup_hits = !dedup;
+      cache_hits = !hits;
+      cache_misses = !misses;
+      batch_seconds = Sys.time () -. t0;
+      per_procedure = List.rev !procs;
+    }
+  in
+  (outcomes, report)
+
+let pp_batch_report ppf r =
+  Format.fprintf ppf
+    "@[<v>batch: %d submitted, %d unique, %d batch duplicate(s), %d cache \
+     hit(s), %d miss(es); hit rate %.1f%%; %.3f ms@,per procedure: %s@]"
+    r.submitted r.unique r.batch_dedup_hits r.cache_hits r.cache_misses
+    (100. *. hit_rate r)
+    (r.batch_seconds *. 1_000.)
+    (if r.per_procedure = [] then "-"
+     else
+       String.concat ", "
+         (List.map
+            (fun (p, n) -> Printf.sprintf "%s ×%d" p n)
+            r.per_procedure))

@@ -1,0 +1,76 @@
+(** The staged safety-decision engine.
+
+    An engine instance bundles an ordered checker pipeline, a canonical
+    fingerprint function, an LRU verdict cache keyed on fingerprints, a
+    default budget, and instrumentation counters. It serves single
+    decisions ({!decide}) and deduplicated batches ({!decide_batch}).
+
+    Caching is sound because fingerprints are canonical over everything a
+    verdict depends on (database, steps, partial orders). [Unknown]
+    outcomes are {e never} cached: they depend on the budget of the call
+    that produced them, and a later call with a larger budget must be
+    allowed to try again.
+
+    Engine instances are not thread-safe; use one per domain. *)
+
+type ('sys, 'ev) t
+
+val create :
+  ?cache_capacity:int ->
+  ?budget:Budget.t ->
+  fingerprint:('sys -> string) ->
+  ('sys, 'ev) Checker.t list ->
+  ('sys, 'ev) t
+(** [cache_capacity] defaults to [1024]; [0] (or negative) disables the
+    verdict cache. [budget] (default {!Budget.unlimited}) applies to
+    every decision that does not pass its own. Raises [Invalid_argument]
+    on an empty checker list. *)
+
+val checkers : ('sys, 'ev) t -> ('sys, 'ev) Checker.t list
+
+val stats : _ t -> Stats.t
+
+val cache_len : _ t -> int
+(** Current number of cached verdicts ([0] when caching is disabled). *)
+
+val clear_cache : _ t -> unit
+
+val run :
+  ?stats:Stats.t ->
+  ?budget:Budget.t ->
+  ('sys, 'ev) Checker.t list ->
+  'sys ->
+  'ev Outcome.t
+(** Stateless single run of a pipeline — no engine instance, no cache.
+    Stages run in order; inapplicable stages are ignored, stages after
+    the budget's deadline are marked [Skipped], stage errors are recorded
+    and the pipeline continues. If no stage decides, the outcome is
+    [Unknown] carrying the aggregated stage errors. *)
+
+val decide : ?budget:Budget.t -> ('sys, 'ev) t -> 'sys -> 'ev Outcome.t
+(** Fingerprint, consult the cache, run the pipeline on a miss, store
+    decided outcomes. The returned outcome has [cached = true] on a
+    hit. *)
+
+(** What happened to one batch. *)
+type batch_report = {
+  submitted : int;
+  unique : int;  (** Distinct fingerprints in the batch. *)
+  batch_dedup_hits : int;  (** Duplicates folded within this batch. *)
+  cache_hits : int;  (** Served by the engine's LRU cache. *)
+  cache_misses : int;  (** Full pipeline runs. *)
+  batch_seconds : float;
+  per_procedure : (string * int) list;
+      (** Deciding procedure label -> verdict count over unique systems. *)
+}
+
+val hit_rate : batch_report -> float
+(** (batch-dedup hits + cache hits) / submitted; [0.] on an empty batch. *)
+
+val decide_batch :
+  ?budget:Budget.t -> ('sys, 'ev) t -> 'sys list -> 'ev Outcome.t list * batch_report
+(** Decide many systems at once: duplicates (by fingerprint) are decided
+    once and their outcome replicated, in submission order. Per-stage
+    counters and timings accumulate in [stats t]. *)
+
+val pp_batch_report : Format.formatter -> batch_report -> unit

@@ -1,0 +1,65 @@
+type 'ev verdict = Safe | Unsafe of 'ev | Unknown of string
+
+type stage_status = Decided | Passed | Errored | Skipped
+
+type stage_trace = {
+  stage : string;
+  procedure : Checker.procedure;
+  status : stage_status;
+  detail : string;
+  seconds : float;
+}
+
+type 'ev t = {
+  verdict : 'ev verdict;
+  procedure : Checker.procedure option;
+  detail : string;
+  trace : stage_trace list;
+  seconds : float;
+  cached : bool;
+}
+
+let map f t =
+  {
+    t with
+    verdict =
+      (match t.verdict with
+      | Safe -> Safe
+      | Unsafe ev -> Unsafe (f ev)
+      | Unknown msg -> Unknown msg);
+  }
+
+let decided t = match t.verdict with Unknown _ -> false | Safe | Unsafe _ -> true
+
+let provenance t =
+  match t.procedure with
+  | Some p -> Checker.procedure_label p
+  | None -> "undecided"
+
+let status_label = function
+  | Decided -> "decided"
+  | Passed -> "passed"
+  | Errored -> "ERROR"
+  | Skipped -> "skipped"
+
+let pp_trace ppf trace =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "%-12s [%-7s] %-7s %8.3f ms  %s" s.stage
+        (Checker.procedure_label s.procedure)
+        (status_label s.status) (s.seconds *. 1_000.) s.detail)
+    trace;
+  Format.fprintf ppf "@]"
+
+let pp_summary ppf t =
+  let verdict =
+    match t.verdict with
+    | Safe -> "SAFE"
+    | Unsafe _ -> "UNSAFE"
+    | Unknown _ -> "UNKNOWN"
+  in
+  Format.fprintf ppf "%s — %s [%s, %.3f ms%s]" verdict t.detail (provenance t)
+    (t.seconds *. 1_000.)
+    (if t.cached then ", cached" else "")

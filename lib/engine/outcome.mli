@@ -1,0 +1,49 @@
+(** Verdicts with structured provenance.
+
+    Where the old dispatcher returned bare strings, an engine outcome
+    records {e which} paper procedure decided, the full per-stage trace
+    (status, detail, elapsed time), the total decision time, and whether
+    the verdict came from the cache. *)
+
+type 'ev verdict = Safe | Unsafe of 'ev | Unknown of string
+
+type stage_status =
+  | Decided  (** This stage produced the verdict. *)
+  | Passed  (** Ran but was inconclusive. *)
+  | Errored  (** Failed (budget, construction error); surfaced, not masked. *)
+  | Skipped  (** Not run because the budget's deadline had expired. *)
+
+type stage_trace = {
+  stage : string;  (** Checker name. *)
+  procedure : Checker.procedure;
+  status : stage_status;
+  detail : string;
+  seconds : float;  (** Processor time spent in this stage. *)
+}
+
+type 'ev t = {
+  verdict : 'ev verdict;
+  procedure : Checker.procedure option;
+      (** The procedure that decided; [None] iff the verdict is
+          [Unknown]. *)
+  detail : string;
+      (** Why: the deciding stage's explanation, or the aggregated error
+          messages of an [Unknown]. *)
+  trace : stage_trace list;  (** Applicable stages, in pipeline order. *)
+  seconds : float;  (** Total decision time (processor seconds). *)
+  cached : bool;  (** Served from the verdict cache. *)
+}
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val decided : _ t -> bool
+(** [true] unless the verdict is [Unknown]. *)
+
+val provenance : _ t -> string
+(** ["Thm 1"], …, or ["undecided"] for [Unknown] outcomes. *)
+
+val pp_trace : Format.formatter -> stage_trace list -> unit
+(** One line per stage: name, procedure, status, time, detail. *)
+
+val pp_summary : Format.formatter -> _ t -> unit
+(** e.g. ["SAFE — Theorem 1: … [Thm 1, 0.12 ms]"]. *)

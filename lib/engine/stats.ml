@@ -1,0 +1,97 @@
+type stage = {
+  stage_name : string;
+  mutable attempts : int;
+  mutable decided_safe : int;
+  mutable decided_unsafe : int;
+  mutable passed : int;
+  mutable errors : int;
+  mutable skipped : int;
+  mutable seconds : float;
+}
+
+type t = {
+  mutable decisions : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable unknowns : int;
+  tbl : (string, stage) Hashtbl.t;
+  mutable order : string list;  (* reversed first-seen order *)
+}
+
+let create () =
+  { decisions = 0; cache_hits = 0; cache_misses = 0; unknowns = 0;
+    tbl = Hashtbl.create 8; order = [] }
+
+let reset t =
+  t.decisions <- 0;
+  t.cache_hits <- 0;
+  t.cache_misses <- 0;
+  t.unknowns <- 0;
+  Hashtbl.reset t.tbl;
+  t.order <- []
+
+let stage t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some s -> s
+  | None ->
+      let s =
+        { stage_name = name; attempts = 0; decided_safe = 0;
+          decided_unsafe = 0; passed = 0; errors = 0; skipped = 0;
+          seconds = 0. }
+      in
+      Hashtbl.add t.tbl name s;
+      t.order <- name :: t.order;
+      s
+
+let record_stage t ~name (status, unsafe) seconds =
+  let s = stage t name in
+  s.seconds <- s.seconds +. seconds;
+  match status with
+  | Outcome.Decided ->
+      s.attempts <- s.attempts + 1;
+      if unsafe then s.decided_unsafe <- s.decided_unsafe + 1
+      else s.decided_safe <- s.decided_safe + 1
+  | Outcome.Passed ->
+      s.attempts <- s.attempts + 1;
+      s.passed <- s.passed + 1
+  | Outcome.Errored ->
+      s.attempts <- s.attempts + 1;
+      s.errors <- s.errors + 1
+  | Outcome.Skipped -> s.skipped <- s.skipped + 1
+
+let record_decision t ~cached ~unknown =
+  t.decisions <- t.decisions + 1;
+  if cached then t.cache_hits <- t.cache_hits + 1;
+  if unknown then t.unknowns <- t.unknowns + 1
+
+let record_cache_miss t = t.cache_misses <- t.cache_misses + 1
+
+let decisions t = t.decisions
+
+let cache_hits t = t.cache_hits
+
+let cache_misses t = t.cache_misses
+
+let unknowns t = t.unknowns
+
+let hit_rate t =
+  if t.decisions = 0 then 0.
+  else float_of_int t.cache_hits /. float_of_int t.decisions
+
+let stages t = List.rev_map (Hashtbl.find t.tbl) t.order
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf
+    "decisions: %d (%d unknown); cache: %d hit(s), %d miss(es), hit rate \
+     %.1f%%@,"
+    t.decisions t.unknowns t.cache_hits t.cache_misses (100. *. hit_rate t);
+  Format.fprintf ppf "%-12s %8s %6s %8s %8s %7s %8s %12s" "stage" "runs"
+    "safe" "unsafe" "passed" "errors" "skipped" "time";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "@,%-12s %8d %6d %8d %8d %7d %8d %9.3f ms"
+        s.stage_name s.attempts s.decided_safe s.decided_unsafe s.passed
+        s.errors s.skipped (s.seconds *. 1_000.))
+    (stages t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,46 @@
+(** Instrumentation counters for an engine instance: how many decisions
+    were served, how the cache behaved, and — per pipeline stage — how
+    often each checker ran, what it concluded, and how much time it
+    consumed. Mutated in place by {!Engine}; read with the accessors or
+    rendered with {!pp}. *)
+
+type stage = {
+  stage_name : string;
+  mutable attempts : int;  (** Times the stage was run. *)
+  mutable decided_safe : int;
+  mutable decided_unsafe : int;
+  mutable passed : int;
+  mutable errors : int;
+  mutable skipped : int;  (** Deadline-expired skips (not counted as attempts). *)
+  mutable seconds : float;  (** Cumulative processor time in the stage. *)
+}
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val record_stage : t -> name:string -> Outcome.stage_status * bool -> float -> unit
+(** [record_stage t ~name (status, unsafe) seconds]: bump the stage's
+    counters. [unsafe] disambiguates [Decided] into safe/unsafe. *)
+
+val record_decision : t -> cached:bool -> unknown:bool -> unit
+
+val record_cache_miss : t -> unit
+
+val decisions : t -> int
+
+val cache_hits : t -> int
+
+val cache_misses : t -> int
+
+val unknowns : t -> int
+
+val hit_rate : t -> float
+(** [cache_hits / decisions]; [0.] before any decision. *)
+
+val stages : t -> stage list
+(** In first-recorded order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -44,6 +44,7 @@ val run :
   ?policy:policy ->
   ?max_aborts:int ->
   ?cross_site_delay:int ->
+  ?check_serializability:bool ->
   System.t ->
   (outcome, string) result
 (** [Error] if the run exceeds [max_aborts] (default [1000]) restarts — a
@@ -52,7 +53,11 @@ val run :
     *different site* only becomes eligible that many ticks after the
     predecessor finished (the completion notification has to travel);
     while any such message is in flight the engine lets ticks pass
-    instead of declaring deadlock. *)
+    instead of declaring deadlock. [check_serializability] (default
+    [true]) controls the per-history conflict check; pass [false] when
+    the system is already *proven* safe by the decision engine — every
+    legal schedule is then serializable by definition, so [serializable]
+    is reported [true] without the O(n²) conflict-graph pass. *)
 
 val violation_rate :
   ?policy_seeds:int list -> System.t -> float

@@ -40,10 +40,31 @@ type summary = {
   total_ticks : int;
 }
 
-let measure ?(seeds = List.init 20 Fun.id) sys =
+(* Shared safety-decision engine for the precheck below: a small cache
+   pays off because closed-loop experiments re-measure structurally
+   identical systems (same fingerprint) across rounds. *)
+let precheck_engine =
+  lazy
+    (Distlock_core.Decision.create ~cache_capacity:64
+       ~budget:(Distlock_engine.Budget.make ~max_steps:200_000 ()) ())
+
+let proven_safe sys =
+  let o = Distlock_core.Decision.decide (Lazy.force precheck_engine) sys in
+  match o.Distlock_engine.Outcome.verdict with
+  | Distlock_engine.Outcome.Safe -> true
+  | Distlock_engine.Outcome.Unsafe _ | Distlock_engine.Outcome.Unknown _ ->
+      false
+
+let measure ?(precheck = true) ?(seeds = List.init 20 Fun.id) sys =
+  (* A system the decision engine proves safe cannot produce a
+     non-serializable committed history, so the per-run conflict check
+     is skipped; unsafe or undecided systems keep the full check. *)
+  let check_serializability = not (precheck && proven_safe sys) in
   List.fold_left
     (fun acc seed ->
-      match Engine.run ~policy:(Engine.Random seed) sys with
+      match
+        Engine.run ~policy:(Engine.Random seed) ~check_serializability sys
+      with
       | Error _ -> acc
       | Ok o ->
           {

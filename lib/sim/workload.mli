@@ -30,8 +30,13 @@ type summary = {
   total_ticks : int;
 }
 
-val measure : ?seeds:int list -> System.t -> summary
-(** Run the engine once per seed and aggregate. *)
+val measure : ?precheck:bool -> ?seeds:int list -> System.t -> summary
+(** Run the engine once per seed and aggregate. With [precheck] (the
+    default) the system is first decided by the safety engine
+    ({!Distlock_core.Decision}, shared cached instance, 200k-step
+    budget); when it is proven safe the per-history serializability
+    check is skipped, since every legal schedule of a safe system is
+    serializable. Unsafe or undecided systems are unaffected. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 

@@ -49,6 +49,49 @@ let sites_used t =
     t.txns;
   List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) seen [])
 
+let fingerprint t =
+  let buf = Buffer.create 512 in
+  let add = Buffer.add_string buf in
+  (* Names are length-prefixed so no choice of entity or transaction
+     names can make two different systems serialize identically. *)
+  let add_name s =
+    add (string_of_int (String.length s));
+    add ":";
+    add s
+  in
+  List.iter
+    (fun e ->
+      add_name (Database.name t.db e);
+      add "@";
+      add (string_of_int (Database.site t.db e));
+      add ";")
+    (Database.entities t.db);
+  Array.iter
+    (fun txn ->
+      add "|";
+      add_name (Txn.name txn);
+      add ":";
+      Array.iter
+        (fun (s : Step.t) ->
+          add
+            (match s.Step.action with
+            | Step.Lock -> "L"
+            | Step.Unlock -> "U"
+            | Step.Update -> "u");
+          add (string_of_int s.Step.entity);
+          add ",")
+        (Txn.steps txn);
+      add "#";
+      List.iter
+        (fun (a, b) ->
+          add (string_of_int a);
+          add "<";
+          add (string_of_int b);
+          add ";")
+        (List.sort compare (Distlock_order.Poset.relation (Txn.order txn))))
+    t.txns;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>%a@,%a@]" Database.pp t.db
     (Format.pp_print_list (Txn.pp t.db))

@@ -34,4 +34,13 @@ val validate_exn : ?strict:bool -> t -> unit
 val sites_used : t -> int list
 (** Sites actually storing some entity touched by some transaction. *)
 
+val fingerprint : t -> string
+(** A canonical fingerprint (32-char hex digest) over everything a
+    safety verdict depends on: the database (entity names and their
+    stored-at sites, in id order) and, per transaction, its name, step
+    list, and full step partial order. Two systems with equal
+    fingerprints get the same verdict, so the digest keys the engine's
+    verdict cache; any perturbation — moving an entity to another site,
+    adding or removing a precedence — changes it. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,279 @@
+(* The decision engine: fingerprints, the staged pipeline, the verdict
+   cache, budgets, and the batch API. *)
+
+open Distlock_core
+open Distlock_txn
+module E = Distlock_engine
+
+let mkdb entities =
+  let db = Database.create () in
+  Database.add_all db entities;
+  db
+
+(* The quickstart unsafe pair, parameterized by the site of [z] so tests
+   can perturb the placement without touching anything else. *)
+let unsafe_pair ?(z_site = 2) () =
+  let db = mkdb [ ("x", 1); ("z", z_site) ] in
+  let mk name =
+    Builder.make_exn db ~name
+      ~steps:
+        [ ("Lx", `Lock "x"); ("Ux", `Unlock "x");
+          ("Lz", `Lock "z"); ("Uz", `Unlock "z") ]
+      ~arcs:[ ("Lx", "Ux"); ("Lz", "Uz") ]
+      ()
+  in
+  System.make db [ mk "T1"; mk "T2" ]
+
+let two_phase_pair () =
+  let db = mkdb [ ("x", 1); ("z", 2) ] in
+  let mk name = Builder.two_phase_sequence db ~name [ "x"; "z" ] in
+  System.make db [ mk "T1"; mk "T2" ]
+
+let total_three_site_pair () =
+  let db = mkdb [ ("x", 1); ("y", 2); ("z", 3) ] in
+  let mk name = Builder.locked_sequence db ~name [ "x"; "y"; "z" ] in
+  System.make db [ mk "T1"; mk "T2" ]
+
+let safe_multi () =
+  let db = mkdb [ ("x", 1); ("y", 2); ("z", 1) ] in
+  let mk name = Builder.two_phase_sequence db ~name [ "x"; "y"; "z" ] in
+  System.make db [ mk "T1"; mk "T2"; mk "T3" ]
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints *)
+
+let test_fingerprint_stable () =
+  Util.check "same construction, same fingerprint" true
+    (System.fingerprint (Figures.fig1 ()) = System.fingerprint (Figures.fig1 ()));
+  Util.check "distinct systems, distinct fingerprints" true
+    (System.fingerprint (Figures.fig1 ())
+    <> System.fingerprint (Figures.fig5 ()))
+
+let test_fingerprint_perturbation () =
+  let base = System.fingerprint (unsafe_pair ()) in
+  Util.check "moving an entity to another site changes the fingerprint" true
+    (base <> System.fingerprint (unsafe_pair ~z_site:3 ()));
+  (* Same steps, one extra precedence. *)
+  let db = mkdb [ ("x", 1); ("z", 2) ] in
+  let mk extra name =
+    Builder.make_exn db ~name
+      ~steps:
+        [ ("Lx", `Lock "x"); ("Ux", `Unlock "x");
+          ("Lz", `Lock "z"); ("Uz", `Unlock "z") ]
+      ~arcs:([ ("Lx", "Ux"); ("Lz", "Uz") ] @ extra)
+      ()
+  in
+  let loose = System.make db [ mk [] "T1"; mk [] "T2" ] in
+  let tight =
+    System.make db [ mk [ ("Ux", "Lz") ] "T1"; mk [] "T2" ]
+  in
+  Util.check "adding a precedence changes the fingerprint" true
+    (System.fingerprint loose <> System.fingerprint tight)
+
+(* ------------------------------------------------------------------ *)
+(* Provenance: each paper procedure decides its own territory *)
+
+let procedure_of sys =
+  (Safety.decide sys).E.Outcome.procedure
+
+let test_provenance () =
+  Util.check "fig1 decided by Theorem 2" true
+    (procedure_of (Figures.fig1 ()) = Some E.Checker.Theorem_2);
+  Util.check "strong 2PL pair decided by Theorem 1" true
+    (procedure_of (two_phase_pair ()) = Some E.Checker.Theorem_1);
+  Util.check "fig5 decided by Lemma 1" true
+    (procedure_of (Figures.fig5 ()) = Some E.Checker.Lemma_1);
+  Util.check "total pair on three sites decided by Proposition 1" true
+    (procedure_of (total_three_site_pair ()) = Some E.Checker.Proposition_1);
+  let eng = Decision.create () in
+  let o = Decision.decide eng (safe_multi ()) in
+  Util.check "three-transaction system decided by Proposition 2" true
+    (o.E.Outcome.procedure = Some E.Checker.Proposition_2
+    && o.E.Outcome.verdict = E.Outcome.Safe)
+
+let test_proposition1_counterexample () =
+  let sys = total_three_site_pair () in
+  match (Safety.decide sys).E.Outcome.verdict with
+  | E.Outcome.Unsafe (Safety.Counterexample h) ->
+      Util.check "legal" true (Distlock_sched.Legality.is_legal sys h);
+      Util.check "non-serializable" false
+        (Distlock_sched.Conflict.is_serializable sys h)
+  | _ -> Alcotest.fail "expected a geometric counterexample"
+
+(* ------------------------------------------------------------------ *)
+(* Budgets and the Unknown path *)
+
+let test_budget_exhaustion () =
+  (* fig5 needs the Lemma 1 oracle; one step is not enough. *)
+  let o = Safety.decide ~budget:(E.Budget.of_steps 1) (Figures.fig5 ()) in
+  (match o.E.Outcome.verdict with
+  | E.Outcome.Unknown _ -> ()
+  | _ -> Alcotest.fail "expected Unknown under a 1-step budget");
+  Util.check "the exhausted stage is traced as an error" true
+    (List.exists
+       (fun (s : E.Outcome.stage_trace) -> s.E.Outcome.status = E.Outcome.Errored)
+       o.E.Outcome.trace);
+  (* The compatibility shim reports the same. *)
+  match Safety.decide_pair ~exhaustive_budget:1 (Figures.fig5 ()) with
+  | Safety.Unknown _ -> ()
+  | _ -> Alcotest.fail "decide_pair: expected Unknown under a 1-step budget"
+
+let test_deadline_expiry () =
+  let o =
+    Safety.decide
+      ~budget:(E.Budget.make ~max_seconds:0. ())
+      (Figures.fig5 ())
+  in
+  (match o.E.Outcome.verdict with
+  | E.Outcome.Unknown _ -> ()
+  | _ -> Alcotest.fail "expected Unknown under a zero deadline");
+  Util.check "every applicable stage skipped" true
+    (o.E.Outcome.trace <> []
+    && List.for_all
+         (fun (s : E.Outcome.stage_trace) ->
+           s.E.Outcome.status = E.Outcome.Skipped)
+         o.E.Outcome.trace)
+
+let test_budget_validation () =
+  Util.check "negative steps rejected" true
+    (try
+       ignore (E.Budget.make ~max_steps:(-1) ());
+       false
+     with Invalid_argument _ -> true);
+  Util.check "negative seconds rejected" true
+    (try
+       ignore (E.Budget.make ~max_seconds:(-1.) ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* The verdict cache *)
+
+let test_cache_hit_on_resubmission () =
+  let eng = Decision.create () in
+  let first = Decision.decide eng (unsafe_pair ()) in
+  Util.check "first decision computed" false first.E.Outcome.cached;
+  let second = Decision.decide eng (unsafe_pair ()) in
+  Util.check "identical resubmission served from cache" true
+    second.E.Outcome.cached;
+  Util.check "same verdict" true
+    (E.Outcome.decided second
+    && second.E.Outcome.procedure = first.E.Outcome.procedure);
+  (* A perturbed system is a different key. *)
+  let third = Decision.decide eng (unsafe_pair ~z_site:3 ()) in
+  Util.check "site perturbation misses the cache" false third.E.Outcome.cached;
+  Util.check_int "two distinct misses recorded" 2
+    (E.Stats.cache_misses (Decision.stats eng))
+
+let test_unknown_never_cached () =
+  let eng = Decision.create () in
+  let o1 =
+    Decision.decide ~budget:(E.Budget.of_steps 1) eng (Figures.fig5 ())
+  in
+  Util.check "undecided" false (E.Outcome.decided o1);
+  (* A bigger budget must be allowed to try again — the Unknown verdict
+     was budget-dependent, so it must not have been cached. *)
+  let o2 = Decision.decide eng (Figures.fig5 ()) in
+  Util.check "re-decided, not served from cache" false o2.E.Outcome.cached;
+  Util.check "now decided safe" true (o2.E.Outcome.verdict = E.Outcome.Safe);
+  let o3 = Decision.decide eng (Figures.fig5 ()) in
+  Util.check "decided verdicts do get cached" true o3.E.Outcome.cached
+
+let test_lru_eviction () =
+  let lru = E.Lru.create ~capacity:2 in
+  E.Lru.add lru "a" 1;
+  E.Lru.add lru "b" 2;
+  ignore (E.Lru.find lru "a");
+  (* "b" is now least recently used. *)
+  E.Lru.add lru "c" 3;
+  Util.check_int "capacity respected" 2 (E.Lru.length lru);
+  Util.check_int "one eviction" 1 (E.Lru.evictions lru);
+  Util.check "LRU entry evicted" false (E.Lru.mem lru "b");
+  Util.check "recently used entry kept" true (E.Lru.mem lru "a");
+  Util.check "rejects capacity 0" true
+    (try
+       ignore (E.Lru.create ~capacity:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* The batch API *)
+
+let test_batch_dedup_and_stats () =
+  let eng = Decision.create () in
+  let a () = unsafe_pair () and b () = two_phase_pair () in
+  let outcomes, report =
+    Decision.decide_batch eng [ a (); b (); a (); a (); b () ]
+  in
+  Util.check_int "all outcomes returned" 5 (List.length outcomes);
+  Util.check_int "two unique systems" 2 report.E.Engine.unique;
+  Util.check_int "three duplicates folded in-batch" 3
+    report.E.Engine.batch_dedup_hits;
+  Util.check "positive hit rate on a duplicated workload" true
+    (E.Engine.hit_rate report > 0.);
+  Util.check "per-procedure tally populated" true
+    (report.E.Engine.per_procedure <> []);
+  (* Per-stage counters saw real work. *)
+  let stages = E.Stats.stages (Decision.stats eng) in
+  Util.check "stage counters populated" true (stages <> []);
+  Util.check "some stage attempted" true
+    (List.exists (fun s -> s.E.Stats.attempts > 0) stages);
+  Util.check "stage timings accumulate" true
+    (List.for_all (fun s -> s.E.Stats.seconds >= 0.) stages);
+  (* A second identical batch is served entirely by the LRU cache. *)
+  let _, report2 = Decision.decide_batch eng [ a (); b () ] in
+  Util.check_int "second batch: all cache hits" 2 report2.E.Engine.cache_hits
+
+let test_batch_agrees_with_decide () =
+  let eng = Decision.create ~cache_capacity:0 () in
+  let sys = [ unsafe_pair (); two_phase_pair (); safe_multi () ] in
+  let cached = Decision.create () in
+  let batched, _ = Decision.decide_batch cached sys in
+  List.iter2
+    (fun s (b : _ E.Outcome.t) ->
+      let plain = Decision.decide eng s in
+      Util.check "same procedure with and without cache" true
+        (plain.E.Outcome.procedure = b.E.Outcome.procedure);
+      Util.check "same decidedness" true
+        (E.Outcome.decided plain = E.Outcome.decided b))
+    sys batched
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "fingerprint",
+        [
+          Alcotest.test_case "stable" `Quick test_fingerprint_stable;
+          Alcotest.test_case "perturbation" `Quick
+            test_fingerprint_perturbation;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "provenance" `Quick test_provenance;
+          Alcotest.test_case "proposition 1 counterexample" `Quick
+            test_proposition1_counterexample;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "step exhaustion" `Quick test_budget_exhaustion;
+          Alcotest.test_case "deadline expiry" `Quick test_deadline_expiry;
+          Alcotest.test_case "validation" `Quick test_budget_validation;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit on resubmission" `Quick
+            test_cache_hit_on_resubmission;
+          Alcotest.test_case "unknown never cached" `Quick
+            test_unknown_never_cached;
+          Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "dedup and stats" `Quick
+            test_batch_dedup_and_stats;
+          Alcotest.test_case "agrees with decide" `Quick
+            test_batch_agrees_with_decide;
+        ] );
+    ]
