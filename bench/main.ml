@@ -41,6 +41,21 @@ let time f =
 let ms t = t *. 1_000.
 
 (* ------------------------------------------------------------------ *)
+(* Run artifact. Experiments push parameters and derived metrics into
+   these accumulators; the driver snapshots them per experiment together
+   with wall/CPU time and writes BENCH_results.json at the end. *)
+
+module J = Distlock_obs.Json
+
+let bench_params : (string * J.t) list ref = ref []
+let bench_metrics : (string * J.t) list ref = ref []
+let param_i k v = bench_params := (k, J.Int v) :: !bench_params
+let param_s k v = bench_params := (k, J.Str v) :: !bench_params
+let metric_f k v = bench_metrics := (k, J.Float v) :: !bench_metrics
+let metric_i k v = bench_metrics := (k, J.Int v) :: !bench_metrics
+let metric_b k v = bench_metrics := (k, J.Bool v) :: !bench_metrics
+
+(* ------------------------------------------------------------------ *)
 (* E1: Fig 1 *)
 
 let e1 () =
@@ -49,10 +64,13 @@ let e1 () =
   let verdict, t = time (fun () -> Twosite.decide sys) in
   match verdict with
   | Twosite.Unsafe cert ->
+      let verified = Certificate.verify sys cert in
       pf "verdict: UNSAFE in %.3f ms; certificate verified: %b\n" (ms t)
-        (Certificate.verify sys cert);
+        verified;
       pf "schedule: %s\n"
-        (Distlock_sched.Schedule.to_string sys cert.Certificate.schedule)
+        (Distlock_sched.Schedule.to_string sys cert.Certificate.schedule);
+      metric_f "decide_seconds" t;
+      metric_b "certificate_verified" verified
   | Twosite.Safe -> pf "UNEXPECTED: safe\n"
 
 (* ------------------------------------------------------------------ *)
@@ -585,7 +603,69 @@ let e13 () =
     (100. *. E.Engine.hit_rate report)
     report.E.Engine.batch_dedup_hits report.E.Engine.cache_hits
     report.E.Engine.submitted;
+  param_i "pool_systems" (Array.length pool);
+  param_i "queries" n;
+  metric_b "verdicts_agree" agree;
+  metric_i "batch_dedup_hits" report.E.Engine.batch_dedup_hits;
+  metric_i "cache_hits" report.E.Engine.cache_hits;
+  metric_f "cache_off_seconds" t_off;
+  metric_f "cache_on_seconds" t_on;
+  metric_f "speedup" (t_off /. t_on);
+  metric_f "hit_rate" (E.Engine.hit_rate report);
   Format.printf "%a@." E.Stats.pp (Decision.stats eng_on)
+
+(* ------------------------------------------------------------------ *)
+(* E14: observability overhead — no-op sink vs JSONL trace export *)
+
+let e14 () =
+  rule "E14 (obs): tracing overhead on the E13 batch workload";
+  let module E = Distlock_engine in
+  let module Obs = Distlock_obs.Obs in
+  let rng = Random.State.make [| 13 |] in
+  let pool =
+    Array.of_list
+      (List.init 10 (fun i ->
+           Txn_gen.random_pair_system rng
+             ~num_shared:(2 + (i mod 3))
+             ~num_private:1
+             ~num_sites:(2 + (i mod 2))
+             ~cross_prob:0.5 ()))
+  in
+  let queries =
+    List.init 400 (fun _ -> pool.(Random.State.int rng (Array.length pool)))
+  in
+  let n = List.length queries in
+  let run_once () =
+    let eng = Decision.create () in
+    ignore (Decision.decide_batch eng queries)
+  in
+  (* median of [reps] runs, first run as warm-up *)
+  let median_time () =
+    run_once ();
+    let reps = 5 in
+    let ts =
+      List.sort compare (List.init reps (fun _ -> snd (time run_once)))
+    in
+    List.nth ts (reps / 2)
+  in
+  let t_noop = median_time () in
+  let oc = open_out Filename.null in
+  Obs.set_sink (Distlock_obs.Sink.jsonl oc);
+  let t_jsonl = median_time () in
+  Obs.set_sink Distlock_obs.Sink.noop;
+  close_out oc;
+  let per_decision t = t /. float_of_int n *. 1e6 in
+  pf "batch of %d decisions (median of 5):\n" n;
+  pf "no-op sink: %8.2f ms  (%6.2f us/decision)\n" (ms t_noop)
+    (per_decision t_noop);
+  pf "JSONL sink: %8.2f ms  (%6.2f us/decision)  overhead: %.2fx\n"
+    (ms t_jsonl) (per_decision t_jsonl)
+    (t_jsonl /. max 1e-9 t_noop);
+  param_i "queries" n;
+  param_s "jsonl_target" "null device";
+  metric_f "noop_seconds" t_noop;
+  metric_f "jsonl_seconds" t_jsonl;
+  metric_f "jsonl_overhead_ratio" (t_jsonl /. max 1e-9 t_noop)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks *)
@@ -676,23 +756,89 @@ let bechamel_benches () =
         results)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* Driver: run the selected experiments, snapshot each one's params and
+   derived metrics with wall/CPU time, and write the JSON artifact. *)
+
+let experiments =
+  [ ("E1", e1); ("E2", e2); ("E2b", e2b); ("E3", e3); ("E4", e4);
+    ("E5", e5); ("E6", e6); ("E7", e7); ("E8", e8); ("E8b", e8b);
+    ("E8c", e8c); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
+    ("E13", e13); ("E14", e14) ]
+
+let usage () =
+  prerr_endline
+    "usage: bench [--only E1,E13,...] [--out FILE] [--no-artifact]";
+  exit 2
+
 let () =
+  let only = ref None and out = ref "BENCH_results.json" in
+  let artifact = ref true in
+  let rec parse = function
+    | [] -> ()
+    | "--only" :: v :: rest ->
+        only := Some (String.split_on_char ',' v);
+        parse rest
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | "--no-artifact" :: rest ->
+        artifact := false;
+        parse rest
+    | a :: _ ->
+        Printf.eprintf "bench: unknown argument %s\n" a;
+        usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let selected =
+    match !only with
+    | None -> experiments
+    | Some ids ->
+        let wanted id =
+          List.exists
+            (fun s -> String.lowercase_ascii s = String.lowercase_ascii id)
+            ids
+        in
+        let sel = List.filter (fun (id, _) -> wanted id) experiments in
+        if sel = [] then begin
+          Printf.eprintf "bench: --only matched no experiment\n";
+          usage ()
+        end;
+        sel
+  in
   pf "distlock benchmark harness — reproducing Kanellakis & Papadimitriou 1982\n";
-  e1 ();
-  e2 ();
-  e2b ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e8b ();
-  e8c ();
-  e9 ();
-  e10 ();
-  e11 ();
-  e12 ();
-  e13 ();
-  bechamel_benches ();
+  let records =
+    List.map
+      (fun (id, f) ->
+        bench_params := [];
+        bench_metrics := [];
+        let w0 = Unix.gettimeofday () and c0 = Sys.time () in
+        f ();
+        let wall = Unix.gettimeofday () -. w0 and cpu = Sys.time () -. c0 in
+        J.Obj
+          [
+            ("id", J.Str id);
+            ("params", J.Obj (List.rev !bench_params));
+            ("wall_seconds", J.Float wall);
+            ("cpu_seconds", J.Float cpu);
+            ("metrics", J.Obj (List.rev !bench_metrics));
+          ])
+      selected
+  in
+  (* micro-benchmarks only on full sweeps; a filtered run is a smoke *)
+  if !only = None then bechamel_benches ();
+  if !artifact then begin
+    let oc = open_out !out in
+    output_string oc
+      (J.to_string_pretty
+         (J.Obj
+            [
+              ("harness", J.Str "distlock-bench");
+              ("version", J.Str "1.2.0");
+              ("experiments", J.List records);
+            ]));
+    output_char oc '\n';
+    close_out oc;
+    pf "\nwrote %s\n" !out
+  end;
   pf "\ndone.\n"

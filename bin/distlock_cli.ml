@@ -12,6 +12,8 @@ open Cmdliner
 open Distlock_core
 open Distlock_txn
 module E = Distlock_engine
+module Obs = Distlock_obs.Obs
+module J = Distlock_obs.Json
 
 let read_file path =
   let ic = open_in_bin path in
@@ -27,9 +29,87 @@ let load_system path =
       Printf.eprintf "error: %s\n" msg;
       exit 2
 
+(* Engines whose per-instance metrics `--metrics` exports alongside the
+   global registry. Subcommands run at most one engine per invocation,
+   so the Prometheus output never carries duplicate samples. *)
+let metric_engines : Decision.t list ref = ref []
+
+let register_engine e =
+  metric_engines := e :: !metric_engines;
+  e
+
 (* One engine instance shared by every decision the process makes, so
    repeated systems (e.g. across `figures`) hit the verdict cache. *)
-let engine = lazy (Decision.create ())
+let engine = lazy (register_engine (Decision.create ()))
+
+(* ------------------------------------------------------------------ *)
+(* Observability flags. [--metrics] and [--log-level] are uniform across
+   subcommands; [--trace] means "JSONL spans/events" everywhere except
+   `simulate`, where it exports the step event stream instead. *)
+
+let dump_metrics path =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  Distlock_obs.Registry.pp_prometheus ppf Obs.global;
+  List.iter
+    (fun e -> E.Stats.pp_prometheus ppf (Decision.stats e))
+    !metric_engines;
+  Format.pp_print_flush ppf ();
+  close_out oc
+
+let setup_obs span_trace metrics level =
+  Obs.set_level level;
+  (match span_trace with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Obs.set_sink (Distlock_obs.Sink.jsonl oc);
+      at_exit (fun () ->
+        Obs.flush ();
+        close_out oc));
+  match metrics with
+  | None -> ()
+  | Some path -> at_exit (fun () -> dump_metrics path)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "On exit, write the accumulated metrics (engine counters, \
+           stage latency histograms, simulator totals) to $(docv) in \
+           Prometheus text exposition format")
+
+let log_level_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("error", Obs.Error); ("warn", Obs.Warn); ("info", Obs.Info);
+             ("debug", Obs.Debug) ])
+        Obs.Info
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Event verbosity for $(b,--trace): $(docv) is error, warn, \
+           info, or debug (debug adds per-lock traffic)")
+
+(* Full setup: --trace carries structured spans/events as JSON Lines. *)
+let obs_setup =
+  let span_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write structured spans and events (engine pipeline stages, \
+             simulator lifecycle) as JSON Lines to $(docv)")
+  in
+  Term.(const setup_obs $ span_trace $ metrics_arg $ log_level_arg)
+
+(* Reduced setup for `simulate`, which owns the --trace flag. *)
+let obs_setup_no_trace =
+  Term.(const setup_obs $ const None $ metrics_arg $ log_level_arg)
 
 let print_stats (o : Decision.evidence E.Outcome.t) =
   Format.printf "--@.procedure: %s%s@." (E.Outcome.provenance o)
@@ -67,6 +147,74 @@ let print_outcome ?(stats = false) sys (o : Decision.evidence E.Outcome.t) =
 let print_verdict ?stats sys =
   print_outcome ?stats sys (Decision.decide (Lazy.force engine) sys)
 
+let exit_code (o : _ E.Outcome.t) =
+  match o.E.Outcome.verdict with
+  | E.Outcome.Safe -> 0
+  | E.Outcome.Unsafe _ -> 1
+  | E.Outcome.Unknown _ -> 3
+
+(* ------------------------------------------------------------------ *)
+(* --json rendering: verdict, deciding procedure, stage trace, timings —
+   machine-readable so CI stops parsing the pretty output. *)
+
+let json_of_outcome ?file sys (o : Decision.evidence E.Outcome.t) =
+  let verdict =
+    match o.E.Outcome.verdict with
+    | E.Outcome.Safe -> "safe"
+    | E.Outcome.Unsafe _ -> "unsafe"
+    | E.Outcome.Unknown _ -> "unknown"
+  in
+  let detail =
+    match o.E.Outcome.verdict with
+    | E.Outcome.Unsafe (Decision.Multi reason) -> Decision.describe_multi sys reason
+    | _ -> o.E.Outcome.detail
+  in
+  let schedule =
+    match o.E.Outcome.verdict with
+    | E.Outcome.Unsafe ev -> (
+        match Decision.schedule_of_evidence ev with
+        | Some h ->
+            [ ("schedule", J.Str (Distlock_sched.Schedule.to_string sys h)) ]
+        | None -> [])
+    | _ -> []
+  in
+  let stage (s : E.Outcome.stage_trace) =
+    J.Obj
+      [
+        ("stage", J.Str s.E.Outcome.stage);
+        ("procedure", J.Str (E.Checker.procedure_label s.E.Outcome.procedure));
+        ("status", J.Str (E.Outcome.status_label s.E.Outcome.status));
+        ("detail", J.Str s.E.Outcome.detail);
+        ("seconds", J.Float s.E.Outcome.seconds);
+      ]
+  in
+  J.Obj
+    ((match file with Some f -> [ ("file", J.Str f) ] | None -> [])
+    @ [
+        ("verdict", J.Str verdict);
+        ("procedure", J.Str (E.Outcome.provenance o));
+        ("detail", J.Str detail);
+        ("cached", J.Bool o.E.Outcome.cached);
+        ("seconds", J.Float o.E.Outcome.seconds);
+      ]
+    @ schedule
+    @ [ ("stages", J.List (List.map stage o.E.Outcome.trace)) ])
+
+let json_of_report (r : E.Engine.batch_report) =
+  J.Obj
+    [
+      ("submitted", J.Int r.E.Engine.submitted);
+      ("unique", J.Int r.E.Engine.unique);
+      ("batch_dedup_hits", J.Int r.E.Engine.batch_dedup_hits);
+      ("cache_hits", J.Int r.E.Engine.cache_hits);
+      ("cache_misses", J.Int r.E.Engine.cache_misses);
+      ("hit_rate", J.Float (E.Engine.hit_rate r));
+      ("seconds", J.Float r.E.Engine.batch_seconds);
+      ( "per_procedure",
+        J.Obj (List.map (fun (p, n) -> (p, J.Int n)) r.E.Engine.per_procedure)
+      );
+    ]
+
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 
@@ -78,8 +226,16 @@ let stats_flag =
           "Also print the deciding procedure, the per-stage pipeline trace, \
            and the engine's cumulative counters")
 
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the verdict, deciding procedure, stage trace, and \
+           timings as JSON instead of pretty text")
+
 let check_cmd =
-  let run file stats =
+  let run () file stats json =
     let sys = load_system file in
     (match System.validate sys with
     | [] -> ()
@@ -89,14 +245,19 @@ let check_cmd =
             Printf.eprintf "warning: %s: %s\n" (Txn.name t)
               (Validate.to_string (System.db sys) t v))
           vs);
-    exit (print_verdict ~stats sys)
+    if json then begin
+      let o = Decision.decide (Lazy.force engine) sys in
+      print_endline (J.to_string_pretty (json_of_outcome ~file sys o));
+      exit (exit_code o)
+    end
+    else exit (print_verdict ~stats sys)
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Decide safety of a locked transaction system")
-    Term.(const run $ file_arg $ stats_flag)
+    Term.(const run $ obs_setup $ file_arg $ stats_flag $ json_flag)
 
 let batch_cmd =
-  let run files repeat no_cache budget stats =
+  let run () files repeat no_cache budget stats json =
     let named = List.map (fun f -> (f, load_system f)) files in
     let named = List.concat (List.init (max 1 repeat) (fun _ -> named)) in
     let budget =
@@ -105,34 +266,45 @@ let batch_cmd =
       | None -> E.Budget.unlimited
     in
     let eng =
-      Decision.create ~cache_capacity:(if no_cache then 0 else 1024) ~budget ()
+      register_engine
+        (Decision.create
+           ~cache_capacity:(if no_cache then 0 else 1024)
+           ~budget ())
     in
     let outcomes, report =
       Decision.decide_batch eng (List.map snd named)
     in
-    List.iter2
-      (fun (file, sys) (o : Decision.evidence E.Outcome.t) ->
-        let line =
-          match o.E.Outcome.verdict with
-          | E.Outcome.Safe -> "SAFE — " ^ o.E.Outcome.detail
-          | E.Outcome.Unsafe (Decision.Pair _) ->
-              "UNSAFE — " ^ o.E.Outcome.detail
-          | E.Outcome.Unsafe (Decision.Multi reason) ->
-              "UNSAFE — " ^ Decision.describe_multi sys reason
-          | E.Outcome.Unknown msg -> "UNKNOWN — " ^ msg
-        in
-        Printf.printf "%s: %s%s\n" file line
-          (if o.E.Outcome.cached then " (cached)" else ""))
-      named outcomes;
-    Format.printf "%a@." E.Engine.pp_batch_report report;
-    if stats then Format.printf "%a@." E.Stats.pp (Decision.stats eng);
-    let code (o : Decision.evidence E.Outcome.t) =
-      match o.E.Outcome.verdict with
-      | E.Outcome.Safe -> 0
-      | E.Outcome.Unsafe _ -> 1
-      | E.Outcome.Unknown _ -> 3
-    in
-    exit (List.fold_left (fun acc o -> max acc (code o)) 0 outcomes)
+    if json then
+      print_endline
+        (J.to_string_pretty
+           (J.Obj
+              [
+                ( "results",
+                  J.List
+                    (List.map2
+                       (fun (file, sys) o -> json_of_outcome ~file sys o)
+                       named outcomes) );
+                ("report", json_of_report report);
+              ]))
+    else begin
+      List.iter2
+        (fun (file, sys) (o : Decision.evidence E.Outcome.t) ->
+          let line =
+            match o.E.Outcome.verdict with
+            | E.Outcome.Safe -> "SAFE — " ^ o.E.Outcome.detail
+            | E.Outcome.Unsafe (Decision.Pair _) ->
+                "UNSAFE — " ^ o.E.Outcome.detail
+            | E.Outcome.Unsafe (Decision.Multi reason) ->
+                "UNSAFE — " ^ Decision.describe_multi sys reason
+            | E.Outcome.Unknown msg -> "UNKNOWN — " ^ msg
+          in
+          Printf.printf "%s: %s%s\n" file line
+            (if o.E.Outcome.cached then " (cached)" else ""))
+        named outcomes;
+      Format.printf "%a@." E.Engine.pp_batch_report report;
+      if stats then Format.printf "%a@." E.Stats.pp (Decision.stats eng)
+    end;
+    exit (List.fold_left (fun acc o -> max acc (exit_code o)) 0 outcomes)
   in
   let files =
     Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE...")
@@ -159,10 +331,12 @@ let batch_cmd =
        ~doc:
          "Decide many system files through the cached engine, with \
           fingerprint deduplication and a hit-rate report")
-    Term.(const run $ files $ repeat $ no_cache $ budget $ stats_flag)
+    Term.(
+      const run $ obs_setup $ files $ repeat $ no_cache $ budget $ stats_flag
+      $ json_flag)
 
 let dgraph_cmd =
-  let run file dot =
+  let run () file dot =
     let sys = load_system file in
     let d = Dgraph.build_pair sys in
     if dot then
@@ -179,10 +353,10 @@ let dgraph_cmd =
   let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz") in
   Cmd.v
     (Cmd.info "dgraph" ~doc:"Print D(T1,T2) of a two-transaction system")
-    Term.(const run $ file_arg $ dot)
+    Term.(const run $ obs_setup $ file_arg $ dot)
 
 let figures_cmd =
-  let run () =
+  let run () () =
     List.iter
       (fun (name, sys) ->
         Printf.printf "### %s\n%s\n" name (Parse.system_to_string sys);
@@ -191,10 +365,10 @@ let figures_cmd =
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Print the paper's worked examples with verdicts")
-    Term.(const run $ const ())
+    Term.(const run $ obs_setup $ const ())
 
 let reduce_cmd =
-  let run file decide =
+  let run () file decide =
     match Distlock_sat.Dimacs.of_string (read_file file) with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
@@ -224,10 +398,10 @@ let reduce_cmd =
     (Cmd.info "reduce"
        ~doc:"Encode a DIMACS CNF as a pair of distributed transactions \
              (Theorem 3)")
-    Term.(const run $ file_arg $ decide)
+    Term.(const run $ obs_setup $ file_arg $ decide)
 
 let analyze_cmd =
-  let run file =
+  let run () file =
     let sys = load_system file in
     if System.num_txns sys <> 2 then begin
       Printf.eprintf "error: analyze expects a two-transaction system\n";
@@ -238,10 +412,10 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Full diagnostic report for a two-transaction system")
-    Term.(const run $ file_arg)
+    Term.(const run $ obs_setup $ file_arg)
 
 let repair_cmd =
-  let run file =
+  let run () file =
     let sys = load_system file in
     if System.num_txns sys <> 2 then begin
       Printf.eprintf "error: repair expects a two-transaction system\n";
@@ -266,10 +440,10 @@ let repair_cmd =
     (Cmd.info "repair"
        ~doc:"Insert precedences until D(T1,T2) is strongly connected and \
              print the repaired system")
-    Term.(const run $ file_arg)
+    Term.(const run $ obs_setup $ file_arg)
 
 let deadlock_cmd =
-  let run file =
+  let run () file =
     let sys = load_system file in
     let t1, t2 = System.pair sys in
     if not (Txn.is_total t1 && Txn.is_total t2) then begin
@@ -301,10 +475,10 @@ let deadlock_cmd =
     (Cmd.info "deadlock"
        ~doc:"Deadlock analysis of a two-transaction system (geometric for \
              total orders, state exploration otherwise)")
-    Term.(const run $ file_arg)
+    Term.(const run $ obs_setup $ file_arg)
 
 let advise_cmd =
-  let run file =
+  let run () file =
     let sys = load_system file in
     if System.num_txns sys <> 2 then begin
       Printf.eprintf "error: advise expects a two-transaction system\n";
@@ -333,10 +507,10 @@ let advise_cmd =
   Cmd.v
     (Cmd.info "advise"
        ~doc:"Compare repair strategies for an unsafe two-transaction system")
-    Term.(const run $ file_arg)
+    Term.(const run $ obs_setup $ file_arg)
 
 let show_cmd =
-  let run file =
+  let run () file =
     let sys = load_system file in
     print_string (Parse.system_to_string sys);
     print_newline ();
@@ -345,10 +519,10 @@ let show_cmd =
   Cmd.v
     (Cmd.info "show"
        ~doc:"Print a system in the text format and as per-site columns")
-    Term.(const run $ file_arg)
+    Term.(const run $ obs_setup $ file_arg)
 
 let plane_cmd =
-  let run file =
+  let run () file =
     let sys = load_system file in
     let t1, t2 = System.pair sys in
     if not (Txn.is_total t1 && Txn.is_total t2) then begin
@@ -370,29 +544,53 @@ let plane_cmd =
     (Cmd.info "plane"
        ~doc:"Draw the coordinated plane of a totally ordered pair, with \
              the separating schedule when unsafe")
-    Term.(const run $ file_arg)
+    Term.(const run $ obs_setup $ file_arg)
 
 let simulate_cmd =
-  let run file seeds =
+  let run () file seeds trace_file =
     let sys = load_system file in
     let summary =
       Distlock_sim.Workload.measure ~seeds:(List.init seeds Fun.id) sys
     in
+    (match trace_file with
+    | None -> ()
+    | Some path ->
+        (* Re-run each seed deterministically and export the full step
+           event stream — committed and aborted attempts alike. *)
+        let oc = open_out path in
+        for seed = 0 to seeds - 1 do
+          match
+            Distlock_sim.Engine.run ~policy:(Distlock_sim.Engine.Random seed)
+              ~check_serializability:false sys
+          with
+          | Ok o -> Distlock_sim.Trace.write_jsonl ~seed sys oc o.trace
+          | Error _ -> ()
+        done;
+        close_out oc);
     Format.printf "%a@." Distlock_sim.Workload.pp_summary summary
   in
   let seeds =
     Arg.(value & opt int 20 & info [ "seeds" ] ~doc:"Number of seeded runs")
   in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Export every executed step (tick, site, entity, attempt — \
+             including aborted attempts) as JSON Lines to $(docv)")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the lock-manager simulator on a system")
-    Term.(const run $ file_arg $ seeds)
+    Term.(const run $ obs_setup_no_trace $ file_arg $ seeds $ trace_file)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval
        (Cmd.group ~default
-          (Cmd.info "distlock" ~version:"1.1.0"
+          (Cmd.info "distlock" ~version:"1.2.0"
              ~doc:"Safety of distributed locked transactions (Kanellakis & \
                    Papadimitriou 1982)")
           [ advise_cmd; batch_cmd; check_cmd; analyze_cmd; dgraph_cmd;

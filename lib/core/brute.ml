@@ -4,11 +4,29 @@ open Distlock_geometry
 
 type verdict = Safe | Unsafe of Schedule.t
 
+(* Progress counters for the exhaustive oracles, so a long run is
+   legible from the outside ([--metrics] snapshots show the census
+   advancing). A counter bump is one field write — noise even at tens of
+   millions of iterations. *)
+let m_schedules =
+  lazy
+    (Distlock_obs.Registry.counter Distlock_obs.Obs.global
+       ~help:"Legal schedules examined by the brute-force oracle"
+       "distlock_brute_schedules_examined_total")
+
+let m_pictures =
+  lazy
+    (Distlock_obs.Registry.counter Distlock_obs.Obs.global
+       ~help:"Extension-pair pictures examined by the Lemma 1 oracle"
+       "distlock_brute_pictures_examined_total")
+
 let safe_by_schedules ?(limit = 20_000_000) sys =
   let examined = ref 0 in
+  let progress = Lazy.force m_schedules in
   match
     Enumerate.find_legal sys (fun h ->
         incr examined;
+        Distlock_obs.Metric.incr progress;
         if !examined > limit then failwith "Brute.safe_by_schedules: limit exceeded";
         not (Conflict.is_serializable sys h))
   with
@@ -20,11 +38,13 @@ exception Found of Schedule.t
 let safe_by_extensions ?(limit = 50_000_000) sys =
   let t1, t2 = System.pair sys in
   let examined = ref 0 in
+  let progress = Lazy.force m_pictures in
   try
     Distlock_order.Linext.iter (Txn.order t1) (fun ext1 ->
         let ext1 = Array.copy ext1 in
         Distlock_order.Linext.iter (Txn.order t2) (fun ext2 ->
             incr examined;
+            Distlock_obs.Metric.incr progress;
             if !examined > limit then
               failwith "Brute.safe_by_extensions: limit exceeded";
             let plane = Plane.of_extensions sys ext1 (Array.copy ext2) in

@@ -33,5 +33,10 @@ let elapsed m = Sys.time () -. m.started
 let expired m =
   match m.spec.max_seconds with None -> false | Some s -> elapsed m >= s
 
+let remaining_seconds m =
+  match m.spec.max_seconds with
+  | None -> None
+  | Some s -> Some (Float.max 0. (s -. elapsed m))
+
 let step_allowance m ~default =
   match m.spec.max_steps with None -> default | Some n -> n

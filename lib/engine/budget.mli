@@ -46,6 +46,10 @@ val elapsed : meter -> float
 val expired : meter -> bool
 (** Has the deadline passed? (Always [false] without one.) *)
 
+val remaining_seconds : meter -> float option
+(** Deadline seconds still available, clamped at [0.]; [None] without a
+    deadline. *)
+
 val step_allowance : meter -> default:int -> int
 (** The step cap for an exhaustive stage: the budget's [max_steps] if
     set, the stage's [default] otherwise. *)

@@ -1,3 +1,6 @@
+module Obs = Distlock_obs.Obs
+module A = Distlock_obs.Attr
+
 type ('sys, 'ev) t = {
   checkers : ('sys, 'ev) Checker.t list;
   fingerprint : 'sys -> string;
@@ -34,6 +37,19 @@ let clear_cache t = match t.cache with None -> () | Some c -> Lru.clear c
 let run ?stats ?(budget = Budget.unlimited) checkers sys =
   let meter = Budget.start budget in
   let trace = ref [] in
+  (* Span attributes shared by every pipeline stage. [cache_hit] is
+     always false here: a cache hit never reaches [run] (the decide span
+     carries the hit). [budget_remaining_s] is -1 without a deadline. *)
+  let stage_attrs (c : _ Checker.t) () =
+    [
+      A.str "checker" c.Checker.name;
+      A.str "procedure" (Checker.procedure_label c.Checker.procedure);
+      A.str "cost" (Checker.cost_label c.Checker.cost);
+      A.bool "cache_hit" false;
+      A.float "budget_remaining_s"
+        (Option.value ~default:(-1.) (Budget.remaining_seconds meter));
+    ]
+  in
   let record (entry : Outcome.stage_trace) unsafe =
     trace := entry :: !trace;
     match stats with
@@ -82,6 +98,10 @@ let run ?stats ?(budget = Budget.unlimited) checkers sys =
     | (c : _ Checker.t) :: rest ->
         if not (c.Checker.applicable sys) then go rest
         else if Budget.expired meter then begin
+          if Obs.enabled () then
+            Obs.with_span "engine.stage" ~attrs:(stage_attrs c) (fun sp ->
+                Obs.add_attrs sp
+                  [ A.str "status" "skipped"; A.str "verdict" "none" ]);
           record
             {
               Outcome.stage = c.Checker.name;
@@ -94,6 +114,7 @@ let run ?stats ?(budget = Budget.unlimited) checkers sys =
           go rest
         end
         else begin
+          let sp = Obs.start_span "engine.stage" ~attrs:(stage_attrs c) in
           let t0 = Sys.time () in
           let result =
             try c.Checker.run meter sys with
@@ -101,6 +122,21 @@ let run ?stats ?(budget = Budget.unlimited) checkers sys =
             | Invalid_argument msg -> Checker.Error ("invalid argument: " ^ msg)
           in
           let dt = Sys.time () -. t0 in
+          if Obs.enabled () then begin
+            let status, verdict =
+              match result with
+              | Checker.Safe _ -> ("decided", "safe")
+              | Checker.Unsafe _ -> ("decided", "unsafe")
+              | Checker.Pass _ -> ("passed", "none")
+              | Checker.Error _ -> ("error", "none")
+            in
+            Obs.add_attrs sp
+              [
+                A.str "status" status; A.str "verdict" verdict;
+                A.float "cpu_seconds" dt;
+              ]
+          end;
+          Obs.end_span sp;
           let entry status detail =
             {
               Outcome.stage = c.Checker.name;
@@ -127,14 +163,33 @@ let run ?stats ?(budget = Budget.unlimited) checkers sys =
   in
   go checkers
 
+let verdict_label (o : _ Outcome.t) =
+  match o.Outcome.verdict with
+  | Outcome.Safe -> "safe"
+  | Outcome.Unsafe _ -> "unsafe"
+  | Outcome.Unknown _ -> "unknown"
+
 let decide ?budget t sys =
   let budget = Option.value budget ~default:t.default_budget in
+  let sp = Obs.start_span "engine.decide" in
+  let finish fp (o : _ Outcome.t) =
+    if Obs.enabled () then
+      Obs.add_attrs sp
+        [
+          A.str "fingerprint" (Digest.to_hex (Digest.string fp));
+          A.str "verdict" (verdict_label o);
+          A.str "procedure" (Outcome.provenance o);
+          A.bool "cache_hit" o.Outcome.cached;
+        ];
+    Obs.end_span sp;
+    o
+  in
   let fp = t.fingerprint sys in
   match Option.bind t.cache (fun c -> Lru.find c fp) with
   | Some o ->
       Stats.record_decision t.stats ~cached:true
         ~unknown:(not (Outcome.decided o));
-      { o with Outcome.cached = true }
+      finish fp { o with Outcome.cached = true }
   | None ->
       if t.cache <> None then Stats.record_cache_miss t.stats;
       let o = run ~stats:t.stats ~budget t.checkers sys in
@@ -142,7 +197,7 @@ let decide ?budget t sys =
       | Some _, Outcome.Unknown _ -> () (* budget-dependent: never cached *)
       | Some c, _ -> Lru.add c fp o
       | None, _ -> ());
-      o
+      finish fp o
 
 type batch_report = {
   submitted : int;
@@ -161,6 +216,10 @@ let hit_rate r =
     /. float_of_int r.submitted
 
 let decide_batch ?budget t syss =
+  let sp =
+    Obs.start_span "engine.batch"
+      ~attrs:(fun () -> [ A.int "submitted" (List.length syss) ])
+  in
   let t0 = Sys.time () in
   let seen : (string, 'a Outcome.t) Hashtbl.t = Hashtbl.create 64 in
   let fps = Hashtbl.create 64 in
@@ -203,6 +262,15 @@ let decide_batch ?budget t syss =
       per_procedure = List.rev !procs;
     }
   in
+  if Obs.enabled () then
+    Obs.add_attrs sp
+      [
+        A.int "unique" report.unique;
+        A.int "batch_dedup_hits" report.batch_dedup_hits;
+        A.int "cache_hits" report.cache_hits;
+        A.int "cache_misses" report.cache_misses;
+      ];
+  Obs.end_span sp;
   (outcomes, report)
 
 let pp_batch_report ppf r =

@@ -42,6 +42,9 @@ val decided : _ t -> bool
 val provenance : _ t -> string
 (** ["Thm 1"], …, or ["undecided"] for [Unknown] outcomes. *)
 
+val status_label : stage_status -> string
+(** ["decided"], ["passed"], ["ERROR"], or ["skipped"]. *)
+
 val pp_trace : Format.formatter -> stage_trace list -> unit
 (** One line per stage: name, procedure, status, time, detail. *)
 

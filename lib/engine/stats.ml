@@ -1,3 +1,6 @@
+module M = Distlock_obs.Metric
+module R = Distlock_obs.Registry
+
 type stage = {
   stage_name : string;
   mutable attempts : int;
@@ -9,89 +12,159 @@ type stage = {
   mutable seconds : float;
 }
 
+(* Registry-backed handles per pipeline stage. The [stage] record above
+   is kept as the read-only view the accessors return, so callers written
+   against the original mutable-record API keep compiling. *)
+type handles = {
+  h_name : string;
+  safe_c : M.counter;
+  unsafe_c : M.counter;
+  passed_c : M.counter;
+  errors_c : M.counter;
+  skipped_c : M.counter;
+  seconds_h : M.histogram;
+}
+
 type t = {
-  mutable decisions : int;
-  mutable cache_hits : int;
-  mutable cache_misses : int;
-  mutable unknowns : int;
-  tbl : (string, stage) Hashtbl.t;
+  reg : R.t;
+  decisions_c : M.counter;
+  cache_hits_c : M.counter;
+  cache_misses_c : M.counter;
+  unknowns_c : M.counter;
+  tbl : (string, handles) Hashtbl.t;
   mutable order : string list;  (* reversed first-seen order *)
 }
 
-let create () =
-  { decisions = 0; cache_hits = 0; cache_misses = 0; unknowns = 0;
-    tbl = Hashtbl.create 8; order = [] }
+let create ?registry () =
+  let reg = match registry with Some r -> r | None -> R.create () in
+  {
+    reg;
+    decisions_c =
+      R.counter reg ~help:"Decisions served (cached or computed)"
+        "distlock_engine_decisions_total";
+    cache_hits_c =
+      R.counter reg ~help:"Decisions served from the verdict cache"
+        "distlock_engine_cache_hits_total";
+    cache_misses_c =
+      R.counter reg ~help:"Cache lookups that ran the pipeline"
+        "distlock_engine_cache_misses_total";
+    unknowns_c =
+      R.counter reg ~help:"Decisions that ended Unknown"
+        "distlock_engine_unknowns_total";
+    tbl = Hashtbl.create 8;
+    order = [];
+  }
+
+let registry t = t.reg
 
 let reset t =
-  t.decisions <- 0;
-  t.cache_hits <- 0;
-  t.cache_misses <- 0;
-  t.unknowns <- 0;
+  R.reset t.reg;
   Hashtbl.reset t.tbl;
   t.order <- []
 
-let stage t name =
+let result_counter t ~stage result =
+  R.counter t.reg
+    ~labels:[ ("stage", stage); ("result", result) ]
+    ~help:"Stage executions by result" "distlock_engine_stage_total"
+
+let handles t name =
   match Hashtbl.find_opt t.tbl name with
-  | Some s -> s
+  | Some h -> h
   | None ->
-      let s =
-        { stage_name = name; attempts = 0; decided_safe = 0;
-          decided_unsafe = 0; passed = 0; errors = 0; skipped = 0;
-          seconds = 0. }
+      let h =
+        {
+          h_name = name;
+          safe_c = result_counter t ~stage:name "safe";
+          unsafe_c = result_counter t ~stage:name "unsafe";
+          passed_c = result_counter t ~stage:name "passed";
+          errors_c = result_counter t ~stage:name "error";
+          skipped_c = result_counter t ~stage:name "skipped";
+          seconds_h =
+            R.histogram t.reg
+              ~labels:[ ("stage", name) ]
+              ~help:"Stage latency in seconds"
+              "distlock_engine_stage_seconds";
+        }
       in
-      Hashtbl.add t.tbl name s;
+      Hashtbl.add t.tbl name h;
       t.order <- name :: t.order;
-      s
+      h
 
 let record_stage t ~name (status, unsafe) seconds =
-  let s = stage t name in
-  s.seconds <- s.seconds +. seconds;
+  let h = handles t name in
+  (* Skips consume no stage time; recording a 0-duration observation
+     would drag the latency histogram toward the lowest bucket. *)
+  (match status with
+  | Outcome.Skipped -> ()
+  | Outcome.Decided | Outcome.Passed | Outcome.Errored ->
+      M.observe h.seconds_h seconds);
   match status with
-  | Outcome.Decided ->
-      s.attempts <- s.attempts + 1;
-      if unsafe then s.decided_unsafe <- s.decided_unsafe + 1
-      else s.decided_safe <- s.decided_safe + 1
-  | Outcome.Passed ->
-      s.attempts <- s.attempts + 1;
-      s.passed <- s.passed + 1
-  | Outcome.Errored ->
-      s.attempts <- s.attempts + 1;
-      s.errors <- s.errors + 1
-  | Outcome.Skipped -> s.skipped <- s.skipped + 1
+  | Outcome.Decided -> M.incr (if unsafe then h.unsafe_c else h.safe_c)
+  | Outcome.Passed -> M.incr h.passed_c
+  | Outcome.Errored -> M.incr h.errors_c
+  | Outcome.Skipped -> M.incr h.skipped_c
 
 let record_decision t ~cached ~unknown =
-  t.decisions <- t.decisions + 1;
-  if cached then t.cache_hits <- t.cache_hits + 1;
-  if unknown then t.unknowns <- t.unknowns + 1
+  M.incr t.decisions_c;
+  if cached then M.incr t.cache_hits_c;
+  if unknown then M.incr t.unknowns_c
 
-let record_cache_miss t = t.cache_misses <- t.cache_misses + 1
+let record_cache_miss t = M.incr t.cache_misses_c
 
-let decisions t = t.decisions
+let decisions t = M.counter_value t.decisions_c
 
-let cache_hits t = t.cache_hits
+let cache_hits t = M.counter_value t.cache_hits_c
 
-let cache_misses t = t.cache_misses
+let cache_misses t = M.counter_value t.cache_misses_c
 
-let unknowns t = t.unknowns
+let unknowns t = M.counter_value t.unknowns_c
 
 let hit_rate t =
-  if t.decisions = 0 then 0.
-  else float_of_int t.cache_hits /. float_of_int t.decisions
+  let d = decisions t in
+  if d = 0 then 0. else float_of_int (cache_hits t) /. float_of_int d
 
-let stages t = List.rev_map (Hashtbl.find t.tbl) t.order
+let view h =
+  let safe = M.counter_value h.safe_c
+  and unsafe = M.counter_value h.unsafe_c
+  and passed = M.counter_value h.passed_c
+  and errors = M.counter_value h.errors_c in
+  {
+    stage_name = h.h_name;
+    attempts = safe + unsafe + passed + errors;
+    decided_safe = safe;
+    decided_unsafe = unsafe;
+    passed;
+    errors;
+    skipped = M.counter_value h.skipped_c;
+    seconds = M.histogram_sum h.seconds_h;
+  }
+
+let stages t = List.rev_map (fun name -> view (Hashtbl.find t.tbl name)) t.order
+
+(* Mean time per run, defined as 0 when the stage was recorded but never
+   attempted (deadline skips only) — not NaN. *)
+let mean_seconds s =
+  if s.attempts = 0 then 0. else s.seconds /. float_of_int s.attempts
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
   Format.fprintf ppf
     "decisions: %d (%d unknown); cache: %d hit(s), %d miss(es), hit rate \
      %.1f%%@,"
-    t.decisions t.unknowns t.cache_hits t.cache_misses (100. *. hit_rate t);
-  Format.fprintf ppf "%-12s %8s %6s %8s %8s %7s %8s %12s" "stage" "runs"
-    "safe" "unsafe" "passed" "errors" "skipped" "time";
-  List.iter
-    (fun s ->
-      Format.fprintf ppf "@,%-12s %8d %6d %8d %8d %7d %8d %9.3f ms"
-        s.stage_name s.attempts s.decided_safe s.decided_unsafe s.passed
-        s.errors s.skipped (s.seconds *. 1_000.))
-    (stages t);
+    (decisions t) (unknowns t) (cache_hits t) (cache_misses t)
+    (100. *. hit_rate t);
+  (match stages t with
+  | [] -> Format.fprintf ppf "(no stage activity)"
+  | stages ->
+      Format.fprintf ppf "%-12s %8s %6s %8s %8s %7s %8s %12s %12s" "stage"
+        "runs" "safe" "unsafe" "passed" "errors" "skipped" "time" "mean";
+      List.iter
+        (fun s ->
+          Format.fprintf ppf "@,%-12s %8d %6d %8d %8d %7d %8d %9.3f ms %9.3f ms"
+            s.stage_name s.attempts s.decided_safe s.decided_unsafe s.passed
+            s.errors s.skipped (s.seconds *. 1_000.)
+            (mean_seconds s *. 1_000.))
+        stages);
   Format.fprintf ppf "@]"
+
+let pp_prometheus ppf t = R.pp_prometheus ppf t.reg

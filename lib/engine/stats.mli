@@ -1,8 +1,9 @@
-(** Instrumentation counters for an engine instance: how many decisions
-    were served, how the cache behaved, and — per pipeline stage — how
-    often each checker ran, what it concluded, and how much time it
-    consumed. Mutated in place by {!Engine}; read with the accessors or
-    rendered with {!pp}. *)
+(** Instrumentation for an engine instance, backed by a
+    {!Distlock_obs.Registry}: decision/cache counters plus, per pipeline
+    stage, result-labeled counters and a latency histogram. The original
+    accessor API is preserved — callers still read plain ints and a
+    {!stage} record list — while [--metrics] exports the same numbers as
+    Prometheus text via {!pp_prometheus}. *)
 
 type stage = {
   stage_name : string;
@@ -14,10 +15,18 @@ type stage = {
   mutable skipped : int;  (** Deadline-expired skips (not counted as attempts). *)
   mutable seconds : float;  (** Cumulative processor time in the stage. *)
 }
+(** A point-in-time view computed from the registry; mutating it does
+    not write back. *)
 
 type t
 
-val create : unit -> t
+val create : ?registry:Distlock_obs.Registry.t -> unit -> t
+(** By default each engine owns a private registry; pass [registry]
+    (e.g. {!Distlock_obs.Obs.global}) to co-locate the metrics. Metric
+    names are fixed ([distlock_engine_*]), so two engines sharing one
+    registry also share counters. *)
+
+val registry : t -> Distlock_obs.Registry.t
 
 val reset : t -> unit
 
@@ -43,4 +52,11 @@ val hit_rate : t -> float
 val stages : t -> stage list
 (** In first-recorded order. *)
 
+val mean_seconds : stage -> float
+(** Mean time per attempted run; [0.] (not NaN) for a stage that was
+    recorded but never attempted, e.g. one only ever skipped. *)
+
 val pp : Format.formatter -> t -> unit
+
+val pp_prometheus : Format.formatter -> t -> unit
+(** The engine's registry in Prometheus text exposition format. *)

@@ -1,0 +1,33 @@
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type t = (string * value) list
+
+let str k v = (k, Str v)
+
+let int k v = (k, Int v)
+
+let float k v = (k, Float v)
+
+let bool k v = (k, Bool v)
+
+let json_of_value = function
+  | Str s -> Json.Str s
+  | Int n -> Json.Int n
+  | Float f -> Json.Float f
+  | Bool b -> Json.Bool b
+
+let to_json attrs =
+  Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) attrs)
+
+let value_to_string = function
+  | Str s -> s
+  | Int n -> string_of_int n
+  | Float f -> Printf.sprintf "%g" f
+  | Bool b -> string_of_bool b
+
+let pp ppf attrs =
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%s=%s" k (value_to_string v))
+    attrs

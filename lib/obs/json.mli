@@ -1,0 +1,21 @@
+(** A minimal JSON value and writer — just enough for JSONL traces,
+    [--json] CLI output, and bench artifacts, with no external
+    dependency. Serialization only; the repo never needs to parse. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** NaN serializes as [null]. *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** JSON string-escape (without the surrounding quotes). *)
+
+val to_string : t -> string
+(** Compact single-line form — one trace record per line in JSONL. *)
+
+val to_string_pretty : t -> string
+(** Multi-line, two-space-indented form for human-facing [--json]. *)

@@ -1,0 +1,74 @@
+type counter = { mutable count : int }
+
+let counter () = { count = 0 }
+
+let incr_by c n = if n > 0 then c.count <- c.count + n
+
+let incr c = c.count <- c.count + 1
+
+let counter_value c = c.count
+
+let reset_counter c = c.count <- 0
+
+type gauge = { mutable value : float }
+
+let gauge () = { value = 0. }
+
+let set g v = g.value <- v
+
+let gauge_value g = g.value
+
+let reset_gauge g = g.value <- 0.
+
+(* Fixed upper-bound buckets; counts has one extra slot for +Inf. The
+   bounds are validated once at creation so [observe] is a bare linear
+   scan — bucket arrays are short (≤ ~12 entries). *)
+type histogram = {
+  bounds : float array;
+  counts : int array;
+  mutable sum : float;
+  mutable observations : int;
+}
+
+(* 1µs .. 10s — spans engine stage times from trivial connectivity
+   checks to budget-capped exhaustive oracles. *)
+let latency_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10. |]
+
+let histogram ?(buckets = latency_buckets) () =
+  let n = Array.length buckets in
+  if n = 0 then invalid_arg "Metric.histogram: empty bucket list";
+  for i = 1 to n - 1 do
+    if buckets.(i) <= buckets.(i - 1) then
+      invalid_arg "Metric.histogram: bucket bounds must be strictly increasing"
+  done;
+  { bounds = Array.copy buckets; counts = Array.make (n + 1) 0; sum = 0.;
+    observations = 0 }
+
+let observe h v =
+  let n = Array.length h.bounds in
+  let rec slot i = if i >= n || v <= h.bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.observations <- h.observations + 1
+
+let histogram_sum h = h.sum
+
+let histogram_count h = h.observations
+
+let bucket_bounds h = Array.copy h.bounds
+
+(* Cumulative counts in bound order, ending with the +Inf total. *)
+let cumulative h =
+  let acc = ref 0 in
+  Array.map
+    (fun c ->
+      acc := !acc + c;
+      !acc)
+    h.counts
+
+let reset_histogram h =
+  Array.fill h.counts 0 (Array.length h.counts) 0;
+  h.sum <- 0.;
+  h.observations <- 0

@@ -1,0 +1,54 @@
+(** Raw metric instruments: monotone counters, gauges, and fixed-bucket
+    latency histograms. Handles are plain mutable records so the hot-path
+    cost of an update is a field write; registration, naming, and
+    exposition live in {!Registry}. *)
+
+type counter
+
+val counter : unit -> counter
+
+val incr : counter -> unit
+
+val incr_by : counter -> int -> unit
+(** Adds [n] when positive; negative deltas are ignored (counters are
+    monotone). *)
+
+val counter_value : counter -> int
+
+val reset_counter : counter -> unit
+
+type gauge
+
+val gauge : unit -> gauge
+
+val set : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+val reset_gauge : gauge -> unit
+
+type histogram
+
+val latency_buckets : float array
+(** Default bounds, in seconds: 1µs, 10µs, …, 1s, 10s. *)
+
+val histogram : ?buckets:float array -> unit -> histogram
+(** [buckets] are upper bounds and must be strictly increasing; an
+    implicit +Inf bucket is always appended. Raises [Invalid_argument]
+    on an empty or non-increasing bound list. *)
+
+val observe : histogram -> float -> unit
+(** A value lands in the first bucket whose bound is [>=] it (Prometheus
+    [le] semantics). *)
+
+val histogram_sum : histogram -> float
+
+val histogram_count : histogram -> int
+
+val bucket_bounds : histogram -> float array
+
+val cumulative : histogram -> int array
+(** Cumulative per-bucket counts in bound order; the final entry is the
+    +Inf total and equals {!histogram_count}. *)
+
+val reset_histogram : histogram -> unit

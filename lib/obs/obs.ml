@@ -1,0 +1,121 @@
+type level = Error | Warn | Info | Debug
+
+let level_rank = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+let level_to_string = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string = function
+  | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let current_sink = ref Sink.noop
+
+let current_level = ref Info
+
+let global = Registry.create ()
+
+let set_sink s = current_sink := s
+
+let sink () = !current_sink
+
+let set_level l = current_level := l
+
+let level () = !current_level
+
+(* The one check every instrumentation site makes first: with the no-op
+   sink installed this is a pointer comparison, and attribute thunks are
+   never forced. *)
+let enabled () = not (Sink.is_noop !current_sink)
+
+let logs l = enabled () && level_rank l <= level_rank !current_level
+
+let now () = Unix.gettimeofday ()
+
+type ctx = {
+  id : int;
+  parent : int option;
+  ctx_name : string;
+  start : float;
+  mutable ctx_attrs : Attr.t;
+  mutable closed : bool;
+}
+
+type span_ctx = ctx option
+
+let next_id = ref 0
+
+let stack = ref []
+
+let current_span_id () = match !stack with [] -> None | p :: _ -> Some p
+
+let start_span ?attrs name =
+  if not (enabled ()) then None
+  else begin
+    incr next_id;
+    let id = !next_id in
+    let parent = current_span_id () in
+    stack := id :: !stack;
+    Some
+      {
+        id;
+        parent;
+        ctx_name = name;
+        start = now ();
+        ctx_attrs = (match attrs with None -> [] | Some f -> f ());
+        closed = false;
+      }
+  end
+
+let add_attrs sc attrs =
+  match sc with
+  | None -> ()
+  | Some c -> c.ctx_attrs <- c.ctx_attrs @ attrs
+
+let end_span sc =
+  match sc with
+  | None -> ()
+  | Some c ->
+      if not c.closed then begin
+        c.closed <- true;
+        (* Remove our frame wherever it sits, so an out-of-order close
+           (e.g. via an exception path) cannot orphan the stack. *)
+        stack := List.filter (fun i -> i <> c.id) !stack;
+        !current_sink.Sink.on_span
+          {
+            Span.id = c.id;
+            parent = c.parent;
+            name = c.ctx_name;
+            start_s = c.start;
+            duration_s = now () -. c.start;
+            attrs = c.ctx_attrs;
+          }
+      end
+
+let with_span ?attrs name f =
+  let sc = start_span ?attrs name in
+  match f sc with
+  | r ->
+      end_span sc;
+      r
+  | exception e ->
+      end_span sc;
+      raise e
+
+let event ?(level = Info) ?attrs name =
+  if logs level then
+    !current_sink.Sink.on_event
+      {
+        Span.name;
+        time_s = now ();
+        span = current_span_id ();
+        attrs = (match attrs with None -> [] | Some f -> f ());
+      }
+
+let flush () = !current_sink.Sink.flush ()

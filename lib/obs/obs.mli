@@ -1,0 +1,65 @@
+(** The process-wide tracer: one installed {!Sink}, a log level, a
+    global metrics {!Registry}, and the span lifecycle (ids, parent
+    stack, wall-clock timing).
+
+    Overhead contract: with the default no-op sink, {!enabled} is a
+    pointer comparison and every [?attrs] thunk goes unforced, so
+    instrumented hot paths pay essentially nothing (the E14 experiment
+    in [bench/] measures this). Single-threaded by design, like the rest
+    of the repo. *)
+
+type level = Error | Warn | Info | Debug
+
+val level_to_string : level -> string
+
+val level_of_string : string -> level option
+(** Accepts ["error"], ["warn"]/["warning"], ["info"], ["debug"]. *)
+
+val set_sink : Sink.t -> unit
+
+val sink : unit -> Sink.t
+
+val set_level : level -> unit
+
+val level : unit -> level
+
+val enabled : unit -> bool
+(** [true] iff a non-noop sink is installed. Guard attribute
+    construction with this at instrumentation sites that build anything
+    beyond a thunk. *)
+
+val logs : level -> bool
+(** [enabled () && l] is within the current log level — the gate
+    {!event} applies. *)
+
+val global : Registry.t
+(** The process-wide metrics registry ([--metrics] exports it).
+    Library-level progress counters (simulator ticks, brute-force
+    pictures examined, …) live here; per-engine counters live in each
+    engine's own {!Stats}-owned registry. *)
+
+type span_ctx
+(** An open span, or a free dummy when tracing is disabled. *)
+
+val start_span : ?attrs:(unit -> Attr.t) -> string -> span_ctx
+(** Opens a span as a child of the innermost open span. The [attrs]
+    thunk is forced only when tracing is enabled. *)
+
+val add_attrs : span_ctx -> Attr.t -> unit
+(** Appends attributes to an open span (callers should guard argument
+    construction with {!enabled}). No-op on a dummy or closed span. *)
+
+val end_span : span_ctx -> unit
+(** Closes the span and delivers it to the sink; idempotent. *)
+
+val with_span : ?attrs:(unit -> Attr.t) -> string -> (span_ctx -> 'a) -> 'a
+(** Runs the function inside a span, closing it on return or exception.
+    The callback receives the span to {!add_attrs} result attributes. *)
+
+val current_span_id : unit -> int option
+
+val event : ?level:level -> ?attrs:(unit -> Attr.t) -> string -> unit
+(** Emits a point event (default level [Info]) attached to the innermost
+    open span; dropped unless [logs level]. *)
+
+val flush : unit -> unit

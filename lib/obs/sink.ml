@@ -1,0 +1,52 @@
+type t = {
+  on_span : Span.span -> unit;
+  on_event : Span.event -> unit;
+  flush : unit -> unit;
+}
+
+let noop = { on_span = ignore; on_event = ignore; flush = ignore }
+
+let is_noop s = s == noop
+
+let pretty ppf =
+  {
+    on_span = (fun s -> Format.fprintf ppf "%a@." Span.pp_span s);
+    on_event = (fun e -> Format.fprintf ppf "%a@." Span.pp_event e);
+    flush = (fun () -> Format.pp_print_flush ppf ());
+  }
+
+let jsonl oc =
+  let line j =
+    output_string oc (Json.to_string j);
+    output_char oc '\n'
+  in
+  {
+    on_span = (fun s -> line (Span.span_to_json s));
+    on_event = (fun e -> line (Span.event_to_json e));
+    flush = (fun () -> flush oc);
+  }
+
+let tee a b =
+  {
+    on_span =
+      (fun s ->
+        a.on_span s;
+        b.on_span s);
+    on_event =
+      (fun e ->
+        a.on_event e;
+        b.on_event e);
+    flush =
+      (fun () ->
+        a.flush ();
+        b.flush ());
+  }
+
+let collecting () =
+  let spans = ref [] and events = ref [] in
+  ( {
+      on_span = (fun s -> spans := s :: !spans);
+      on_event = (fun e -> events := e :: !events);
+      flush = ignore;
+    },
+    fun () -> (List.rev !spans, List.rev !events) )

@@ -1,0 +1,30 @@
+(** Pluggable destinations for spans and events. The tracer ({!Obs})
+    holds exactly one sink; callers compose with {!tee} if they want
+    more. *)
+
+type t = {
+  on_span : Span.span -> unit;
+  on_event : Span.event -> unit;
+  flush : unit -> unit;
+}
+
+val noop : t
+(** The default: drops everything. {!Obs} treats this sink specially —
+    tracing is disabled while it is installed, so instrumented code
+    skips attribute construction entirely. *)
+
+val is_noop : t -> bool
+
+val pretty : Format.formatter -> t
+(** One human-readable line per record. *)
+
+val jsonl : out_channel -> t
+(** One compact JSON object per line ({!Span.span_to_json} /
+    {!Span.event_to_json}). The channel is not closed by the sink;
+    [flush] flushes it. *)
+
+val tee : t -> t -> t
+
+val collecting : unit -> t * (unit -> Span.span list * Span.event list)
+(** In-memory sink for tests: the closure returns everything received so
+    far, in emission order. *)

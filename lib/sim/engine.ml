@@ -1,5 +1,35 @@
 open Distlock_txn
 open Distlock_sched
+module Obs = Distlock_obs.Obs
+module A = Distlock_obs.Attr
+module M = Distlock_obs.Metric
+
+(* Whole-process simulator counters in the global registry, exported by
+   the CLI's [--metrics]. Bumped once per run, not per tick. *)
+let m_runs =
+  lazy
+    (Distlock_obs.Registry.counter Obs.global
+       ~help:"Simulator runs completed" "distlock_sim_runs_total")
+
+let m_ticks =
+  lazy
+    (Distlock_obs.Registry.counter Obs.global
+       ~help:"Simulator scheduling ticks taken" "distlock_sim_ticks_total")
+
+let m_commits =
+  lazy
+    (Distlock_obs.Registry.counter Obs.global
+       ~help:"Transaction instances committed" "distlock_sim_commits_total")
+
+let m_aborts =
+  lazy
+    (Distlock_obs.Registry.counter Obs.global
+       ~help:"Deadlock-victim aborts" "distlock_sim_aborts_total")
+
+let m_deadlocks =
+  lazy
+    (Distlock_obs.Registry.counter Obs.global
+       ~help:"Wait-for cycles detected" "distlock_sim_deadlocks_total")
 
 type policy = Round_robin | Random of int
 
@@ -62,6 +92,18 @@ let pred_status db ~delay ~now inst s =
    site. *)
 let run ?(policy = Round_robin) ?(max_aborts = 1000) ?(cross_site_delay = 0)
     ?(check_serializability = true) sys =
+  let sp =
+    Obs.start_span "sim.run"
+      ~attrs:(fun () ->
+        [
+          A.str "policy"
+            (match policy with
+            | Round_robin -> "round-robin"
+            | Random seed -> Printf.sprintf "random(%d)" seed);
+          A.int "txns" (System.num_txns sys);
+          A.int "cross_site_delay" cross_site_delay;
+        ])
+  in
   let n = System.num_txns sys in
   let instances =
     Array.init n (fun i ->
@@ -88,6 +130,7 @@ let run ?(policy = Round_robin) ?(max_aborts = 1000) ?(cross_site_delay = 0)
   let global_log = ref [] in
   let trace = ref [] in
   let rr_cursor = ref 0 in
+  let was_blocked = Array.make n false in
   (* A step is enabled if its predecessors ran and, for a lock, the entity
      is free or already ours (the latter cannot happen on well-formed
      transactions). Blocked = the instance's only frontier steps are locks
@@ -150,11 +193,26 @@ let run ?(policy = Round_robin) ?(max_aborts = 1000) ?(cross_site_delay = 0)
       (fun e h -> if h = inst.txn_index then Hashtbl.remove holder e)
       (Hashtbl.copy holder)
   in
+  let step_attrs inst (step : Step.t) () =
+    [
+      A.int "tick" !ticks;
+      A.str "txn" (Txn.name inst.txn);
+      A.str "entity" (Database.name db step.Step.entity);
+      A.int "site" (Database.site db step.Step.entity);
+      A.int "attempt" inst.attempt;
+    ]
+  in
   let execute inst s =
     let step = Txn.step inst.txn s in
     (match step.Step.action with
-    | Step.Lock -> Hashtbl.replace holder step.Step.entity inst.txn_index
-    | Step.Unlock -> Hashtbl.remove holder step.Step.entity
+    | Step.Lock ->
+        Hashtbl.replace holder step.Step.entity inst.txn_index;
+        Obs.event ~level:Obs.Debug ~attrs:(step_attrs inst step)
+          "sim.lock.acquire"
+    | Step.Unlock ->
+        Hashtbl.remove holder step.Step.entity;
+        Obs.event ~level:Obs.Debug ~attrs:(step_attrs inst step)
+          "sim.lock.release"
     | Step.Update -> ());
     inst.done_.(s) <- true;
     inst.done_tick.(s) <- !ticks;
@@ -170,7 +228,17 @@ let run ?(policy = Round_robin) ?(max_aborts = 1000) ?(cross_site_delay = 0)
         attempt = inst.attempt;
       }
       :: !trace;
-    if inst.executed = Txn.num_steps inst.txn then inst.committed <- true
+    if inst.executed = Txn.num_steps inst.txn then begin
+      inst.committed <- true;
+      Obs.event
+        ~attrs:(fun () ->
+          [
+            A.int "tick" !ticks;
+            A.str "txn" (Txn.name inst.txn);
+            A.int "attempt" inst.attempt;
+          ])
+        "sim.txn.commit"
+    end
   in
   let abort_victim () =
     (* Build the wait-for graph, find a cycle, abort the youngest member
@@ -188,6 +256,17 @@ let run ?(policy = Round_robin) ?(max_aborts = 1000) ?(cross_site_delay = 0)
     let victim =
       match Distlock_graph.Topo.find_cycle wf with
       | Some cycle ->
+          Obs.event
+            ~attrs:(fun () ->
+              [
+                A.int "tick" !ticks;
+                A.str "cycle"
+                  (String.concat " -> "
+                     (List.map
+                        (fun i -> Txn.name instances.(i).txn)
+                        cycle));
+              ])
+            "sim.deadlock.detect";
           List.fold_left
             (fun best i ->
               let inst = instances.(i) in
@@ -209,6 +288,15 @@ let run ?(policy = Round_robin) ?(max_aborts = 1000) ?(cross_site_delay = 0)
     | None -> failwith "Engine: stuck with no blocked instance"
     | Some inst ->
         incr aborts;
+        Obs.event
+          ~attrs:(fun () ->
+            [
+              A.int "tick" !ticks;
+              A.str "txn" (Txn.name inst.txn);
+              A.int "attempt" inst.attempt;
+              A.int "wasted_steps" (List.length inst.events);
+            ])
+          "sim.txn.abort";
         (* Remove this attempt's events from the global log. *)
         let drop = List.length inst.events in
         global_log :=
@@ -236,11 +324,39 @@ let run ?(policy = Round_robin) ?(max_aborts = 1000) ?(cross_site_delay = 0)
         |> List.concat_map (fun inst ->
                List.map (fun s -> (inst, s)) (enabled_steps inst))
       in
+      (* Debug-level lock-wait edges, reported once per blocking episode
+         (the whole scan is skipped below Debug). *)
+      if Obs.logs Obs.Debug then
+        Array.iter
+          (fun inst ->
+            if not inst.committed then
+              match blocked_on inst with
+              | [] -> was_blocked.(inst.txn_index) <- false
+              | holders ->
+                  if not was_blocked.(inst.txn_index) then begin
+                    was_blocked.(inst.txn_index) <- true;
+                    Obs.event ~level:Obs.Debug
+                      ~attrs:(fun () ->
+                        [
+                          A.int "tick" !ticks;
+                          A.str "txn" (Txn.name inst.txn);
+                          A.str "waiting_for"
+                            (String.concat ", "
+                               (List.sort_uniq compare
+                                  (List.map
+                                     (fun h -> Txn.name instances.(h).txn)
+                                     holders)));
+                        ])
+                      "sim.lock.block"
+                  end)
+          instances;
       match choices with
       | [] ->
           if Array.exists awaiting_message instances then
             (* messages in flight: let time pass *)
-            ()
+            Obs.event ~level:Obs.Debug
+              ~attrs:(fun () -> [ A.int "tick" !ticks ])
+              "sim.message.wait"
           else begin
             (* every live instance is blocked on a lock: deadlock *)
             incr blocks;
@@ -266,26 +382,48 @@ let run ?(policy = Round_robin) ?(max_aborts = 1000) ?(cross_site_delay = 0)
               pick 0)
     end
   done;
-  match !result with
-  | Some err -> err
-  | None ->
-      let history = Schedule.of_events (List.rev !global_log) in
-      let serializable =
-        (not check_serializability) || Conflict.is_serializable sys history
-      in
-      Ok
-        {
-          history;
-          serializable;
-          trace = List.rev !trace;
-          stats =
-            {
-              ticks = !ticks;
-              commits = n;
-              aborts = !aborts;
-              deadlocks = !blocks;
-            };
-        }
+  let out =
+    match !result with
+    | Some err -> err
+    | None ->
+        let history = Schedule.of_events (List.rev !global_log) in
+        let serializable =
+          (not check_serializability) || Conflict.is_serializable sys history
+        in
+        Ok
+          {
+            history;
+            serializable;
+            trace = List.rev !trace;
+            stats =
+              {
+                ticks = !ticks;
+                commits = n;
+                aborts = !aborts;
+                deadlocks = !blocks;
+              };
+          }
+  in
+  M.incr (Lazy.force m_runs);
+  M.incr_by (Lazy.force m_ticks) !ticks;
+  M.incr_by (Lazy.force m_aborts) !aborts;
+  M.incr_by (Lazy.force m_deadlocks) !blocks;
+  (match out with
+  | Ok _ -> M.incr_by (Lazy.force m_commits) n
+  | Error _ -> ());
+  if Obs.enabled () then
+    Obs.add_attrs sp
+      [
+        A.int "ticks" !ticks;
+        A.int "aborts" !aborts;
+        A.int "deadlocks" !blocks;
+        A.str "result"
+          (match out with
+          | Ok o -> if o.serializable then "serializable" else "non-serializable"
+          | Error e -> "error: " ^ e);
+      ];
+  Obs.end_span sp;
+  out
 
 let violation_rate ?(policy_seeds = List.init 100 Fun.id) sys =
   let total = List.length policy_seeds in

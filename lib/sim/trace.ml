@@ -62,6 +62,38 @@ let analyze sys events =
   let makespan = List.fold_left (fun m (e : event) -> max m e.tick) 0 events in
   { events; txns; sites; makespan }
 
+module Json = Distlock_obs.Json
+
+(* One structured record per executed step — the JSONL schema behind
+   `simulate --trace`. [seed] tags the run when several seeded runs
+   share one file. *)
+let event_to_json ?seed sys (e : event) =
+  let txn = System.txn sys e.txn in
+  let step = Txn.step txn e.step in
+  Json.Obj
+    ((match seed with Some s -> [ ("seed", Json.Int s) ] | None -> [])
+    @ [
+        ("tick", Json.Int e.tick);
+        ("txn", Json.Str (Txn.name txn));
+        ("step", Json.Str (Step.to_string (System.db sys) step));
+        ( "action",
+          Json.Str
+            (match step.Step.action with
+            | Step.Lock -> "lock"
+            | Step.Unlock -> "unlock"
+            | Step.Update -> "update") );
+        ("entity", Json.Str (Database.name (System.db sys) step.Step.entity));
+        ("site", Json.Int e.site);
+        ("attempt", Json.Int e.attempt);
+      ])
+
+let write_jsonl ?seed sys oc events =
+  List.iter
+    (fun e ->
+      output_string oc (Json.to_string (event_to_json ?seed sys e));
+      output_char oc '\n')
+    events
+
 let pp_event sys ppf (e : event) =
   let txn = System.txn sys e.txn in
   Format.fprintf ppf "t=%d %s_%d@site%d%s" e.tick

@@ -39,6 +39,13 @@ type report = {
 
 val analyze : System.t -> event list -> report
 
+val event_to_json : ?seed:int -> System.t -> event -> Distlock_obs.Json.t
+(** Structured record: tick, transaction name, step label, action,
+    entity name, site, attempt — plus the run [seed] when given. *)
+
+val write_jsonl : ?seed:int -> System.t -> out_channel -> event list -> unit
+(** One {!event_to_json} object per line. The channel is left open. *)
+
 val pp_report : System.t -> Format.formatter -> report -> unit
 
 val pp_event : System.t -> Format.formatter -> event -> unit

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts the CLI and bench emit.
+
+Usage:
+    validate_obs.py json FILE       # `check --json` / `batch --json` output
+    validate_obs.py trace FILE      # --trace JSONL spans/events
+    validate_obs.py metrics FILE    # --metrics Prometheus text exposition
+    validate_obs.py bench FILE      # BENCH_results.json
+
+Exits non-zero with a message on the first violation. Used by CI; handy
+locally too.
+"""
+import json
+import re
+import sys
+
+
+def die(msg):
+    sys.exit(f"validate_obs: {msg}")
+
+
+def need(obj, keys, where):
+    for k in keys:
+        if k not in obj:
+            die(f"{where}: missing key {k!r} (has {sorted(obj)})")
+
+
+def check_outcome(o, where):
+    need(o, ["verdict", "procedure", "detail", "cached", "seconds", "stages"], where)
+    if o["verdict"] not in ("safe", "unsafe", "unknown"):
+        die(f"{where}: bad verdict {o['verdict']!r}")
+    for i, st in enumerate(o["stages"]):
+        need(st, ["stage", "procedure", "status", "detail", "seconds"],
+             f"{where}.stages[{i}]")
+
+
+def check_json(path):
+    data = json.load(open(path))
+    if "results" in data:  # batch
+        need(data, ["results", "report"], "batch")
+        for i, o in enumerate(data["results"]):
+            check_outcome(o, f"results[{i}]")
+        need(data["report"],
+             ["submitted", "unique", "batch_dedup_hits", "cache_hits",
+              "cache_misses", "hit_rate", "seconds", "per_procedure"],
+             "report")
+    else:  # single check
+        check_outcome(data, "outcome")
+
+
+def check_trace(path):
+    stage_attrs = ("checker", "verdict", "cache_hit")
+    n = 0
+    for ln, line in enumerate(open(path), 1):
+        if not line.strip():
+            continue
+        rec = json.loads(line)
+        n += 1
+        if rec.get("type") == "span":
+            need(rec, ["id", "name", "start_s", "duration_s"], f"line {ln}")
+            if rec["name"] == "engine.stage":
+                for k in stage_attrs:
+                    if k not in rec.get("attrs", {}):
+                        die(f"line {ln}: engine.stage span lacks attr {k!r}")
+        elif rec.get("type") == "event":
+            need(rec, ["name", "time_s"], f"line {ln}")
+        else:
+            die(f"line {ln}: record is neither span nor event")
+    if n == 0:
+        die(f"{path}: empty trace")
+
+
+def check_metrics(path):
+    sample = re.compile(
+        r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.e+-]+|\+Inf|NaN)$')
+    families, current = set(), None
+    n = 0
+    for ln, line in enumerate(open(path), 1):
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            fam, kind = line.split()[2], line.split()[3]
+            if fam in families:
+                die(f"line {ln}: family {fam} declared twice")
+            if kind not in ("counter", "gauge", "histogram"):
+                die(f"line {ln}: bad kind {kind}")
+            families.add(fam)
+            current = fam
+            continue
+        if not sample.match(line):
+            die(f"line {ln}: unparseable sample {line!r}")
+        name = line.split("{")[0].split(" ")[0]
+        base = name
+        for suf in ("_bucket", "_sum", "_count"):
+            if name.endswith(suf) and name[: -len(suf)] in families:
+                base = name[: -len(suf)]
+        if base != current:
+            die(f"line {ln}: sample {name} outside its family block")
+        n += 1
+    if n == 0:
+        die(f"{path}: no samples")
+
+
+def check_bench(path):
+    data = json.load(open(path))
+    need(data, ["harness", "version", "experiments"], "bench")
+    if not data["experiments"]:
+        die("bench: no experiments recorded")
+    for i, e in enumerate(data["experiments"]):
+        need(e, ["id", "params", "wall_seconds", "cpu_seconds", "metrics"],
+             f"experiments[{i}]")
+
+
+def main():
+    if len(sys.argv) != 3:
+        die("usage: validate_obs.py {json|trace|metrics|bench} FILE")
+    kind, path = sys.argv[1], sys.argv[2]
+    handlers = {"json": check_json, "trace": check_trace,
+                "metrics": check_metrics, "bench": check_bench}
+    if kind not in handlers:
+        die(f"unknown artifact kind {kind!r}")
+    handlers[kind](path)
+    print(f"validate_obs: {kind} {path}: OK")
+
+
+if __name__ == "__main__":
+    main()

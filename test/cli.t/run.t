@@ -136,3 +136,85 @@ The advisor compares repair strategies by concurrency cost:
 
   $ ../../bin/distlock_cli.exe advise safe.txt
   already SAFE — Theorem 1: D(T1,T2) strongly connected
+
+Machine-readable verdicts: --json carries the verdict, the deciding
+procedure, and the full stage trace (timings normalized here):
+
+  $ ../../bin/distlock_cli.exe check --json safe.txt \
+  >   | sed -E 's/"seconds": [0-9.e+-]+/"seconds": _/'
+  {
+    "file": "safe.txt",
+    "verdict": "safe",
+    "procedure": "Thm 1",
+    "detail": "Theorem 1: D(T1,T2) strongly connected",
+    "cached": false,
+    "seconds": _,
+    "stages": [
+      {
+        "stage": "trivial",
+        "procedure": "trivial",
+        "status": "passed",
+        "detail": "two or more commonly locked entities",
+        "seconds": _
+      },
+      {
+        "stage": "theorem1",
+        "procedure": "Thm 1",
+        "status": "decided",
+        "detail": "Theorem 1: D(T1,T2) strongly connected",
+        "seconds": _
+      }
+    ]
+  }
+
+An unsafe file keeps exit code 1 and includes the witness schedule:
+
+  $ ../../bin/distlock_cli.exe check --json unsafe.txt \
+  >   | sed -E 's/"seconds": [0-9.e+-]+/"seconds": _/' \
+  >   | grep -E '"(verdict|schedule)"'
+    "verdict": "unsafe",
+    "schedule": "Lx_1 Ux_1 Lz_2 Uz_2 Lz_1 Uz_1 Lx_2 Ux_2",
+
+Batch mode exports spans to --trace and Prometheus text to --metrics;
+every engine stage span carries its checker and verdict attributes:
+
+  $ ../../bin/distlock_cli.exe batch safe.txt unsafe.txt \
+  >   --trace spans.jsonl --metrics metrics.prom \
+  >   | sed -E 's/[0-9.]+ ms/_ ms/'
+  safe.txt: SAFE — Theorem 1: D(T1,T2) strongly connected
+  unsafe.txt: UNSAFE — Theorem 2: certificate from the dominator closure
+  batch: 2 submitted, 2 unique, 0 batch duplicate(s), 0 cache hit(s), 2 miss(es); hit rate 0.0%; _ ms
+  per procedure: Thm 1 ×1, Thm 2 ×1
+
+  $ grep -c '"name":"engine.stage"' spans.jsonl
+  5
+  $ grep '"name":"engine.stage"' spans.jsonl | grep -vc '"checker":'
+  0
+  [1]
+  $ grep '"name":"engine.stage"' spans.jsonl | grep -vc '"verdict":'
+  0
+  [1]
+  $ grep -c '"name":"engine.batch"' spans.jsonl
+  1
+
+  $ grep '^# TYPE' metrics.prom | sort
+  # TYPE distlock_engine_cache_hits_total counter
+  # TYPE distlock_engine_cache_misses_total counter
+  # TYPE distlock_engine_decisions_total counter
+  # TYPE distlock_engine_stage_seconds histogram
+  # TYPE distlock_engine_stage_total counter
+  # TYPE distlock_engine_unknowns_total counter
+  $ grep '^distlock_engine_decisions_total' metrics.prom
+  distlock_engine_decisions_total 2
+
+The simulator exports its full step event stream — committed and
+aborted attempts, with tick, site, entity, and attempt — as JSONL:
+
+  $ ../../bin/distlock_cli.exe simulate unsafe.txt --seeds 2 --trace sim.jsonl
+  2 runs: 1 violations, 0 aborts, 0 deadlocks, 16 ticks
+  $ head -3 sim.jsonl
+  {"seed":0,"tick":1,"txn":"T2","step":"Lx","action":"lock","entity":"x","site":1,"attempt":1}
+  {"seed":0,"tick":2,"txn":"T2","step":"Lz","action":"lock","entity":"z","site":2,"attempt":1}
+  {"seed":0,"tick":3,"txn":"T2","step":"Uz","action":"unlock","entity":"z","site":2,"attempt":1}
+  $ wc -l < sim.jsonl
+  16

@@ -1,0 +1,356 @@
+(* Tests for the observability core: JSON writer, metric instruments,
+   registry + Prometheus exposition, span lifecycle, sinks — and the
+   registry-backed engine Stats edge cases. *)
+
+open Distlock_obs
+module E = Distlock_engine
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let test_json_compact () =
+  let j =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\nc");
+        ("i", Json.Int (-3));
+        ("f", Json.Float 0.25);
+        ("t", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Int 2 ]);
+      ]
+  in
+  check string "compact form"
+    {|{"s":"a\"b\nc","i":-3,"f":0.25,"t":true,"n":null,"l":[1,2]}|}
+    (Json.to_string j)
+
+let test_json_floats () =
+  check string "integral floats print without exponent" {|1000000|}
+    (Json.to_string (Json.Float 1e6));
+  check string "NaN is null" {|null|} (Json.to_string (Json.Float Float.nan));
+  check string "negative zero" {|-0|} (Json.to_string (Json.Float (-0.)))
+
+let test_json_pretty () =
+  check string "pretty empty containers" {|{}|}
+    (Json.to_string_pretty (Json.Obj []));
+  check string "pretty nesting"
+    "{\n  \"a\": [\n    1\n  ]\n}"
+    (Json.to_string_pretty (Json.Obj [ ("a", Json.List [ Json.Int 1 ]) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Metric *)
+
+let test_counter () =
+  let c = Metric.counter () in
+  Metric.incr c;
+  Metric.incr_by c 4;
+  Metric.incr_by c (-10);
+  check int "monotone: negative deltas ignored" 5 (Metric.counter_value c);
+  Metric.reset_counter c;
+  check int "reset" 0 (Metric.counter_value c)
+
+let test_histogram_buckets () =
+  let h = Metric.histogram ~buckets:[| 0.1; 1.; 10. |] () in
+  (* le semantics: a value lands in the first bucket whose bound >= it *)
+  List.iter (Metric.observe h) [ 0.1; 0.5; 1.; 5.; 100. ];
+  check (Alcotest.array int) "cumulative counts, +Inf last"
+    [| 1; 3; 4; 5 |] (Metric.cumulative h);
+  check int "count = +Inf total" 5 (Metric.histogram_count h);
+  check (Alcotest.float 1e-9) "sum" 106.6 (Metric.histogram_sum h)
+
+let test_histogram_validation () =
+  Alcotest.check_raises "non-increasing bounds rejected"
+    (Invalid_argument
+       "Metric.histogram: bucket bounds must be strictly increasing")
+    (fun () -> ignore (Metric.histogram ~buckets:[| 1.; 1. |] ()));
+  Alcotest.check_raises "empty bounds rejected"
+    (Invalid_argument "Metric.histogram: empty bucket list") (fun () ->
+      ignore (Metric.histogram ~buckets:[||] ()))
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let test_registry_get_or_create () =
+  let r = Registry.create () in
+  let c1 = Registry.counter r ~help:"h" "m_total" in
+  let c2 = Registry.counter r ~help:"h" "m_total" in
+  Metric.incr c1;
+  check int "same key returns the same handle" 1 (Metric.counter_value c2);
+  let c3 = Registry.counter r ~labels:[ ("k", "v") ] ~help:"h" "m_total" in
+  check int "distinct labels are a distinct instance" 0
+    (Metric.counter_value c3);
+  check int "entries lists both" 2 (List.length (Registry.entries r))
+
+let test_registry_kind_mismatch () =
+  let r = Registry.create () in
+  ignore (Registry.counter r ~help:"h" "m_total");
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Registry: m_total already registered as a counter")
+    (fun () -> ignore (Registry.gauge r ~help:"h" "m_total"))
+
+let test_registry_invalid_name () =
+  let r = Registry.create () in
+  Alcotest.check_raises "invalid name"
+    (Invalid_argument "Registry: invalid metric name \"9bad\"") (fun () ->
+      ignore (Registry.counter r ~help:"h" "9bad"))
+
+let test_prometheus_exposition () =
+  let r = Registry.create () in
+  let c = Registry.counter r ~labels:[ ("q", {|a"b|}) ] ~help:"A counter" "c_total" in
+  Metric.incr c;
+  let h = Registry.histogram r ~buckets:[| 0.5 |] ~help:"A histogram" "h_s" in
+  Metric.observe h 0.25;
+  Metric.observe h 2.;
+  check string "text exposition"
+    "# HELP c_total A counter\n\
+     # TYPE c_total counter\n\
+     c_total{q=\"a\\\"b\"} 1\n\
+     # HELP h_s A histogram\n\
+     # TYPE h_s histogram\n\
+     h_s_bucket{le=\"0.5\"} 1\n\
+     h_s_bucket{le=\"+Inf\"} 2\n\
+     h_s_sum 2.25\n\
+     h_s_count 2\n"
+    (Registry.to_prometheus r)
+
+let test_prometheus_families_contiguous () =
+  (* Interleaved registration must still group samples per family. *)
+  let r = Registry.create () in
+  ignore (Registry.counter r ~labels:[ ("s", "a") ] ~help:"h" "x_total");
+  ignore (Registry.counter r ~labels:[ ("s", "a") ] ~help:"h" "y_total");
+  ignore (Registry.counter r ~labels:[ ("s", "b") ] ~help:"h" "x_total");
+  check string "families grouped, headers once"
+    "# HELP x_total h\n# TYPE x_total counter\n\
+     x_total{s=\"a\"} 0\nx_total{s=\"b\"} 0\n\
+     # HELP y_total h\n# TYPE y_total counter\ny_total{s=\"a\"} 0\n"
+    (Registry.to_prometheus r)
+
+let test_registry_reset () =
+  let r = Registry.create () in
+  let c = Registry.counter r ~help:"h" "c_total" in
+  Metric.incr c;
+  Registry.reset r;
+  check int "instrument zeroed" 0 (Metric.counter_value c);
+  check int "registration survives" 1 (List.length (Registry.entries r))
+
+(* ------------------------------------------------------------------ *)
+(* Spans, events, sinks *)
+
+(* Install a collecting sink for the duration of [f]. *)
+let with_collecting f =
+  let sink, collected = Sink.collecting () in
+  Obs.set_sink sink;
+  Fun.protect ~finally:(fun () -> Obs.set_sink Sink.noop) f;
+  collected ()
+
+let test_span_nesting () =
+  let spans, _ =
+    with_collecting (fun () ->
+        Obs.with_span "outer" (fun _ ->
+            Obs.with_span "inner" (fun sp ->
+                Obs.add_attrs sp [ Attr.str "k" "v" ])))
+  in
+  match spans with
+  | [ inner; outer ] ->
+      (* children complete (and are delivered) first *)
+      check string "inner name" "inner" inner.Span.name;
+      check string "outer name" "outer" outer.Span.name;
+      check bool "inner parented to outer" true
+        (inner.Span.parent = Some outer.Span.id);
+      check bool "outer is a root" true (outer.Span.parent = None);
+      check bool "inner carries added attr" true
+        (List.mem_assoc "k" inner.Span.attrs);
+      check bool "duration is non-negative" true (inner.Span.duration_s >= 0.)
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
+
+let test_span_exception_closes () =
+  let spans, _ =
+    with_collecting (fun () ->
+        try Obs.with_span "boom" (fun _ -> failwith "x")
+        with Failure _ -> ())
+  in
+  check int "span delivered despite exception" 1 (List.length spans)
+
+let test_end_span_idempotent () =
+  let spans, _ =
+    with_collecting (fun () ->
+        let sp = Obs.start_span "once" in
+        Obs.end_span sp;
+        Obs.end_span sp)
+  in
+  check int "second end_span is a no-op" 1 (List.length spans)
+
+let test_event_level_gating () =
+  let _, events =
+    with_collecting (fun () ->
+        Obs.set_level Obs.Info;
+        Obs.event "kept";
+        Obs.event ~level:Obs.Debug "dropped";
+        Obs.set_level Obs.Debug;
+        Obs.event ~level:Obs.Debug "kept2";
+        Obs.set_level Obs.Info)
+  in
+  check
+    (Alcotest.list string)
+    "only events within the level" [ "kept"; "kept2" ]
+    (List.map (fun (e : Span.event) -> e.Span.name) events)
+
+let test_disabled_thunks_unforced () =
+  (* With the no-op sink installed nothing forces attr thunks. *)
+  let forced = ref false in
+  let sp =
+    Obs.start_span "quiet" ~attrs:(fun () ->
+        forced := true;
+        [])
+  in
+  Obs.end_span sp;
+  Obs.event "quiet" ~attrs:(fun () ->
+      forced := true;
+      []);
+  check bool "attr thunks never forced when disabled" false !forced;
+  check bool "tracing reports disabled" false (Obs.enabled ())
+
+let test_span_jsonl_shape () =
+  let s =
+    {
+      Span.id = 7;
+      parent = Some 3;
+      name = "engine.stage";
+      start_s = 12.5;
+      duration_s = 0.25;
+      attrs = [ Attr.str "checker" "trivial"; Attr.bool "cache_hit" false ];
+    }
+  in
+  check string "span JSON"
+    {|{"type":"span","id":7,"parent":3,"name":"engine.stage","start_s":12.5,"duration_s":0.25,"attrs":{"checker":"trivial","cache_hit":false}}|}
+    (Json.to_string (Span.span_to_json s));
+  let e =
+    { Span.name = "sim.txn.abort"; time_s = 1.5; span = None; attrs = [] }
+  in
+  check string "event JSON"
+    {|{"type":"event","name":"sim.txn.abort","time_s":1.5}|}
+    (Json.to_string (Span.event_to_json e))
+
+let test_level_of_string () =
+  check bool "warning alias" true (Obs.level_of_string "warning" = Some Obs.Warn);
+  check bool "unknown rejected" true (Obs.level_of_string "loud" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Engine Stats on top of the registry *)
+
+let test_stats_zero_decisions () =
+  let s = E.Stats.create () in
+  check (Alcotest.float 0.) "hit_rate 0 before any decision" 0.
+    (E.Stats.hit_rate s);
+  check bool "stages empty" true (E.Stats.stages s = []);
+  let out = Format.asprintf "%a" E.Stats.pp s in
+  check bool "pp mentions the empty stage table" true
+    (contains out "(no stage activity)")
+
+let test_stats_skip_only_stage () =
+  let s = E.Stats.create () in
+  E.Stats.record_stage s ~name:"exhaustive" (E.Outcome.Skipped, false) 0.;
+  match E.Stats.stages s with
+  | [ st ] ->
+      check int "skip is not an attempt" 0 st.E.Stats.attempts;
+      check int "skip recorded" 1 st.E.Stats.skipped;
+      check (Alcotest.float 0.) "mean_seconds is 0, not NaN" 0.
+        (E.Stats.mean_seconds st)
+  | l -> Alcotest.failf "expected 1 stage, got %d" (List.length l)
+
+let test_stats_counters_roundtrip () =
+  let s = E.Stats.create () in
+  E.Stats.record_stage s ~name:"theorem1" (E.Outcome.Decided, false) 0.5;
+  E.Stats.record_stage s ~name:"theorem1" (E.Outcome.Decided, true) 0.25;
+  E.Stats.record_stage s ~name:"theorem1" (E.Outcome.Passed, false) 0.25;
+  E.Stats.record_decision s ~cached:false ~unknown:false;
+  E.Stats.record_cache_miss s;
+  E.Stats.record_decision s ~cached:true ~unknown:false;
+  check int "decisions" 2 (E.Stats.decisions s);
+  check int "cache hits" 1 (E.Stats.cache_hits s);
+  check (Alcotest.float 1e-9) "hit rate" 0.5 (E.Stats.hit_rate s);
+  (match E.Stats.stages s with
+  | [ st ] ->
+      check int "attempts" 3 st.E.Stats.attempts;
+      check int "safe" 1 st.E.Stats.decided_safe;
+      check int "unsafe" 1 st.E.Stats.decided_unsafe;
+      check (Alcotest.float 1e-9) "seconds accumulate" 1. st.E.Stats.seconds;
+      check (Alcotest.float 1e-9) "mean over attempts" (1. /. 3.)
+        (E.Stats.mean_seconds st)
+  | l -> Alcotest.failf "expected 1 stage, got %d" (List.length l));
+  let prom = Format.asprintf "%a" E.Stats.pp_prometheus s in
+  check bool "prometheus carries the stage label" true
+    (contains prom
+       {|distlock_engine_stage_total{stage="theorem1",result="safe"} 1|})
+
+let test_stats_reset () =
+  let s = E.Stats.create () in
+  E.Stats.record_stage s ~name:"trivial" (E.Outcome.Passed, false) 0.1;
+  E.Stats.record_decision s ~cached:false ~unknown:false;
+  E.Stats.reset s;
+  check int "decisions zeroed" 0 (E.Stats.decisions s);
+  check bool "stage list emptied" true (E.Stats.stages s = []);
+  E.Stats.record_stage s ~name:"trivial" (E.Outcome.Passed, false) 0.1;
+  check int "stage usable again after reset" 1
+    (List.length (E.Stats.stages s))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "compact" `Quick test_json_compact;
+          Alcotest.test_case "floats" `Quick test_json_floats;
+          Alcotest.test_case "pretty" `Quick test_json_pretty;
+        ] );
+      ( "metric",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram validation" `Quick
+            test_histogram_validation;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "get-or-create" `Quick test_registry_get_or_create;
+          Alcotest.test_case "kind mismatch" `Quick test_registry_kind_mismatch;
+          Alcotest.test_case "invalid name" `Quick test_registry_invalid_name;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_prometheus_exposition;
+          Alcotest.test_case "families contiguous" `Quick
+            test_prometheus_families_contiguous;
+          Alcotest.test_case "reset" `Quick test_registry_reset;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception closes span" `Quick
+            test_span_exception_closes;
+          Alcotest.test_case "end_span idempotent" `Quick
+            test_end_span_idempotent;
+          Alcotest.test_case "event level gating" `Quick
+            test_event_level_gating;
+          Alcotest.test_case "disabled thunks unforced" `Quick
+            test_disabled_thunks_unforced;
+          Alcotest.test_case "jsonl shape" `Quick test_span_jsonl_shape;
+          Alcotest.test_case "level_of_string" `Quick test_level_of_string;
+        ] );
+      ( "engine stats",
+        [
+          Alcotest.test_case "zero decisions" `Quick test_stats_zero_decisions;
+          Alcotest.test_case "skip-only stage" `Quick test_stats_skip_only_stage;
+          Alcotest.test_case "counters roundtrip" `Quick
+            test_stats_counters_roundtrip;
+          Alcotest.test_case "reset" `Quick test_stats_reset;
+        ] );
+    ]
