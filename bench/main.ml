@@ -21,6 +21,8 @@
      E11  [7]     deadlock and safety are orthogonal axes
      E12  Sec 1   shared locks: the theory is unchanged
      E13  --      decision-engine verdict cache and batch throughput
+     E14  --      observability overhead: no-op sink vs JSONL export
+     E15  --      parallel batch speedup over 1/2/4/8 domains
 
    Wall-clock tables are printed first; Bechamel micro-benchmarks (one
    Test.make per experiment family) run at the end. *)
@@ -668,6 +670,74 @@ let e14 () =
   metric_f "jsonl_overhead_ratio" (t_jsonl /. max 1e-9 t_noop)
 
 (* ------------------------------------------------------------------ *)
+(* E15: parallel batch decisions — speedup curve over domain counts *)
+
+let e15 () =
+  rule "E15 (engine): decide_batch speedup over 1/2/4/8 domains";
+  let module E = Distlock_engine in
+  let rng = Random.State.make [| 15 |] in
+  (* A mixed corpus of distinct systems — no duplicates, and a fresh
+     engine per run, so every decision is a cold-cache pipeline run and
+     the curve measures the pipeline fan-out, not the cache. *)
+  let corpus =
+    List.init 480 (fun i ->
+        Txn_gen.random_pair_system rng
+          ~num_shared:(3 + (i mod 4))
+          ~num_private:(i mod 2)
+          ~num_sites:(2 + (i mod 3))
+          ~cross_prob:(0.3 +. (0.1 *. float_of_int (i mod 5)))
+          ())
+    @ List.init 40 (fun i ->
+          Txn_gen.random_multi_system rng
+            ~num_txns:(3 + (i mod 2))
+            ~num_entities:6 ~entities_per_txn:2 ~num_sites:2 ~cross_prob:0.6
+            ())
+  in
+  let n = List.length corpus in
+  let job_counts = [ 1; 2; 4; 8 ] in
+  let run jobs =
+    let eng = Decision.create ~cache_capacity:0 () in
+    time (fun () -> Decision.decide_batch ~jobs eng corpus)
+  in
+  (* Warm-up once so allocator state is comparable across runs. *)
+  ignore (run 1);
+  let results = List.map (fun jobs -> (jobs, run jobs)) job_counts in
+  let (baseline, _), t1 =
+    List.assoc 1 results
+  in
+  pf "corpus: %d distinct systems (pairs + multi), cold cache per run\n" n;
+  pf "%6s %12s %14s %9s %s\n" "jobs" "seconds" "decisions/s" "speedup"
+    "verdicts";
+  let speedups =
+    List.map
+      (fun (jobs, ((outcomes, report), t)) ->
+        let agree =
+          List.for_all2
+            (fun (a : _ E.Outcome.t) (b : _ E.Outcome.t) ->
+              E.Outcome.decided a = E.Outcome.decided b
+              && a.E.Outcome.procedure = b.E.Outcome.procedure)
+            baseline outcomes
+        in
+        let speedup = t1 /. t in
+        pf "%6d %9.2f ms %14.0f %8.2fx %s\n" jobs (ms t)
+          (float_of_int n /. t) speedup
+          (if agree then "agree" else "DISAGREE");
+        metric_f (Printf.sprintf "jobs%d_seconds" jobs) t;
+        metric_f (Printf.sprintf "jobs%d_speedup" jobs) speedup;
+        metric_b (Printf.sprintf "jobs%d_verdicts_agree" jobs) agree;
+        ignore report;
+        (jobs, speedup))
+      results
+  in
+  param_i "corpus_systems" n;
+  param_i "recommended_domain_count" (Domain.recommended_domain_count ());
+  metric_f "speedup_jobs4" (List.assoc 4 speedups);
+  pf
+    "note: speedup saturates at the machine's core count \
+     (recommended_domain_count = %d here)\n"
+    (Domain.recommended_domain_count ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks *)
 
 let bechamel_benches () =
@@ -764,7 +834,7 @@ let experiments =
   [ ("E1", e1); ("E2", e2); ("E2b", e2b); ("E3", e3); ("E4", e4);
     ("E5", e5); ("E6", e6); ("E7", e7); ("E8", e8); ("E8b", e8b);
     ("E8c", e8c); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
-    ("E13", e13); ("E14", e14) ]
+    ("E13", e13); ("E14", e14); ("E15", e15) ]
 
 let usage () =
   prerr_endline
@@ -834,7 +904,7 @@ let () =
          (J.Obj
             [
               ("harness", J.Str "distlock-bench");
-              ("version", J.Str "1.2.0");
+              ("version", J.Str "1.3.0");
               ("experiments", J.List records);
             ]));
     output_char oc '\n';

@@ -210,6 +210,7 @@ let json_of_report (r : E.Engine.batch_report) =
       ("cache_misses", J.Int r.E.Engine.cache_misses);
       ("hit_rate", J.Float (E.Engine.hit_rate r));
       ("seconds", J.Float r.E.Engine.batch_seconds);
+      ("jobs", J.Int r.E.Engine.jobs);
       ( "per_procedure",
         J.Obj (List.map (fun (p, n) -> (p, J.Int n)) r.E.Engine.per_procedure)
       );
@@ -257,7 +258,11 @@ let check_cmd =
     Term.(const run $ obs_setup $ file_arg $ stats_flag $ json_flag)
 
 let batch_cmd =
-  let run () files repeat no_cache budget stats json =
+  let run () files repeat no_cache budget jobs stats json =
+    if jobs < 1 then begin
+      Printf.eprintf "distlock: --jobs must be >= 1\n";
+      exit 2
+    end;
     let named = List.map (fun f -> (f, load_system f)) files in
     let named = List.concat (List.init (max 1 repeat) (fun _ -> named)) in
     let budget =
@@ -272,7 +277,7 @@ let batch_cmd =
            ~budget ())
     in
     let outcomes, report =
-      Decision.decide_batch eng (List.map snd named)
+      Decision.decide_batch ~jobs eng (List.map snd named)
     in
     if json then
       print_endline
@@ -326,14 +331,24 @@ let batch_cmd =
           ~doc:"Step budget per decision (caps the exhaustive stages)"
           ~docv:"STEPS")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Decide the batch's distinct systems on $(docv) domains in \
+             parallel (1 = sequential); outcomes and report totals are \
+             identical for any value"
+          ~docv:"N")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
          "Decide many system files through the cached engine, with \
           fingerprint deduplication and a hit-rate report")
     Term.(
-      const run $ obs_setup $ files $ repeat $ no_cache $ budget $ stats_flag
-      $ json_flag)
+      const run $ obs_setup $ files $ repeat $ no_cache $ budget $ jobs
+      $ stats_flag $ json_flag)
 
 let dgraph_cmd =
   let run () file dot =
@@ -590,7 +605,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default
-          (Cmd.info "distlock" ~version:"1.2.0"
+          (Cmd.info "distlock" ~version:"1.3.0"
              ~doc:"Safety of distributed locked transactions (Kanellakis & \
                    Papadimitriou 1982)")
           [ advise_cmd; batch_cmd; check_cmd; analyze_cmd; dgraph_cmd;

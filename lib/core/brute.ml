@@ -6,23 +6,24 @@ type verdict = Safe | Unsafe of Schedule.t
 
 (* Progress counters for the exhaustive oracles, so a long run is
    legible from the outside ([--metrics] snapshots show the census
-   advancing). A counter bump is one field write — noise even at tens of
-   millions of iterations. *)
-let m_schedules =
-  lazy
-    (Distlock_obs.Registry.counter Distlock_obs.Obs.global
-       ~help:"Legal schedules examined by the brute-force oracle"
-       "distlock_brute_schedules_examined_total")
+   advancing). A counter bump is one atomic increment — noise even at
+   tens of millions of iterations. The handle is fetched once per run
+   through the registry's mutex-guarded get-or-create — not through a
+   shared [lazy], which raises [RacyLazy] when forced from several
+   domains at once, and these oracles now run on pool workers. *)
+let m_schedules () =
+  Distlock_obs.Registry.counter Distlock_obs.Obs.global
+    ~help:"Legal schedules examined by the brute-force oracle"
+    "distlock_brute_schedules_examined_total"
 
-let m_pictures =
-  lazy
-    (Distlock_obs.Registry.counter Distlock_obs.Obs.global
-       ~help:"Extension-pair pictures examined by the Lemma 1 oracle"
-       "distlock_brute_pictures_examined_total")
+let m_pictures () =
+  Distlock_obs.Registry.counter Distlock_obs.Obs.global
+    ~help:"Extension-pair pictures examined by the Lemma 1 oracle"
+    "distlock_brute_pictures_examined_total"
 
 let safe_by_schedules ?(limit = 20_000_000) sys =
   let examined = ref 0 in
-  let progress = Lazy.force m_schedules in
+  let progress = m_schedules () in
   match
     Enumerate.find_legal sys (fun h ->
         incr examined;
@@ -38,7 +39,7 @@ exception Found of Schedule.t
 let safe_by_extensions ?(limit = 50_000_000) sys =
   let t1, t2 = System.pair sys in
   let examined = ref 0 in
-  let progress = Lazy.force m_pictures in
+  let progress = m_pictures () in
   try
     Distlock_order.Linext.iter (Txn.order t1) (fun ext1 ->
         let ext1 = Array.copy ext1 in

@@ -34,7 +34,7 @@ let create ?(cache_capacity = 1024) ?budget () =
 
 let decide ?budget t sys = E.Engine.decide ?budget t sys
 
-let decide_batch ?budget t syss = E.Engine.decide_batch ?budget t syss
+let decide_batch ?budget ?jobs t syss = E.Engine.decide_batch ?budget ?jobs t syss
 
 let stats = E.Engine.stats
 

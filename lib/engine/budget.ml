@@ -20,13 +20,18 @@ let describe t =
   | None, Some s -> Printf.sprintf "%.3f s" s
   | Some n, Some s -> Printf.sprintf "%d steps, %.3f s" n s
 
+(* Deadlines are wall-clock ([Obs.now_s]), not process CPU time: with
+   several domains running, CPU time advances domain-count times faster
+   than the clock on the wall, which would expire deadlines early —
+   and a meter that outlives its stage must measure the wait, not the
+   burn. *)
 type meter = { spec : t; started : float }
 
-let start spec = { spec; started = Sys.time () }
+let start spec = { spec; started = Distlock_obs.Obs.now_s () }
 
 let budget m = m.spec
 
-let elapsed m = Sys.time () -. m.started
+let elapsed m = Distlock_obs.Obs.now_s () -. m.started
 
 (* [>=] so that [max_seconds = 0.] deterministically means "no time at
    all" regardless of clock granularity. *)

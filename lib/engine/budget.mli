@@ -15,8 +15,8 @@ type t = {
       (** Cap on enumeration steps for exhaustive stages; [None] means
           the stage's own documented default applies. *)
   max_seconds : float option;
-      (** Relative deadline (seconds of processor time from
-          {!start}); [None] means no deadline. *)
+      (** Relative wall-clock deadline (seconds from {!start});
+          [None] means no deadline. *)
 }
 
 val unlimited : t
@@ -41,7 +41,8 @@ val start : t -> meter
 val budget : meter -> t
 
 val elapsed : meter -> float
-(** Processor seconds since {!start}. *)
+(** Wall-clock seconds since {!start} ({!Distlock_obs.Obs.now_s}) —
+    not CPU time, which diverges under multiple domains. *)
 
 val expired : meter -> bool
 (** Has the deadline passed? (Always [false] without one.) *)

@@ -1,10 +1,18 @@
 module Obs = Distlock_obs.Obs
 module A = Distlock_obs.Attr
+module Par = Distlock_par.Par
+
+(* Concurrency architecture (DESIGN §9): the pipeline core ([run] and
+   every checker) is pure — it closes over no shared mutable state — so
+   one engine instance may serve decisions from several domains at
+   once. The mutable shell is domain-safe piecewise: the verdict cache
+   is sharded ({!Lru_sharded}, one mutex per shard), {!Stats} counters
+   are [Atomic]-backed, and the obs layer serializes sink writes. *)
 
 type ('sys, 'ev) t = {
   checkers : ('sys, 'ev) Checker.t list;
   fingerprint : 'sys -> string;
-  cache : 'ev Outcome.t Lru.t option;
+  cache : 'ev Outcome.t Lru_sharded.t option;
   stats : Stats.t;
   default_budget : Budget.t;
 }
@@ -17,7 +25,7 @@ let create ?(cache_capacity = 1024) ?(budget = Budget.unlimited) ~fingerprint
     fingerprint;
     cache =
       (if cache_capacity <= 0 then None
-       else Some (Lru.create ~capacity:cache_capacity));
+       else Some (Lru_sharded.create ~capacity:cache_capacity ()));
     stats = Stats.create ();
     default_budget = budget;
   }
@@ -26,14 +34,21 @@ let checkers t = t.checkers
 
 let stats t = t.stats
 
-let cache_len t = match t.cache with None -> 0 | Some c -> Lru.length c
+let cache_len t =
+  match t.cache with None -> 0 | Some c -> Lru_sharded.length c
 
-let clear_cache t = match t.cache with None -> () | Some c -> Lru.clear c
+let clear_cache t =
+  match t.cache with None -> () | Some c -> Lru_sharded.clear c
 
 (* One staged pass over the pipeline. Applicable stages run in order;
    once the deadline has expired the remaining ones are marked Skipped.
    A stage Error is recorded and the pipeline continues — the final
-   Unknown carries every error so nothing is silently masked. *)
+   Unknown carries every error so nothing is silently masked.
+
+   Reentrancy: this function closes over nothing mutable. Every ref it
+   allocates ([meter], [trace]) is private to the call, so concurrent
+   [run]s of the same checker list from different domains never
+   interact (the optional [stats] sink is domain-safe by itself). *)
 let run ?stats ?(budget = Budget.unlimited) checkers sys =
   let meter = Budget.start budget in
   let trace = ref [] in
@@ -115,13 +130,19 @@ let run ?stats ?(budget = Budget.unlimited) checkers sys =
         end
         else begin
           let sp = Obs.start_span "engine.stage" ~attrs:(stage_attrs c) in
-          let t0 = Sys.time () in
+          (* Stage timing is wall-clock; the span also carries the CPU
+             time, which is the genuinely-CPU number (and, being
+             process-wide, can exceed the wall delta when other domains
+             are busy — it is an attribute, not the trace timing). *)
+          let t0 = Obs.now_s () in
+          let c0 = Obs.cpu_s () in
           let result =
             try c.Checker.run meter sys with
             | Failure msg -> Checker.Error msg
             | Invalid_argument msg -> Checker.Error ("invalid argument: " ^ msg)
           in
-          let dt = Sys.time () -. t0 in
+          let dt = Obs.now_s () -. t0 in
+          let dt_cpu = Obs.cpu_s () -. c0 in
           if Obs.enabled () then begin
             let status, verdict =
               match result with
@@ -133,7 +154,7 @@ let run ?stats ?(budget = Budget.unlimited) checkers sys =
             Obs.add_attrs sp
               [
                 A.str "status" status; A.str "verdict" verdict;
-                A.float "cpu_seconds" dt;
+                A.float "seconds" dt; A.float "cpu_seconds" dt_cpu;
               ]
           end;
           Obs.end_span sp;
@@ -185,7 +206,7 @@ let decide ?budget t sys =
     o
   in
   let fp = t.fingerprint sys in
-  match Option.bind t.cache (fun c -> Lru.find c fp) with
+  match Option.bind t.cache (fun c -> Lru_sharded.find c fp) with
   | Some o ->
       Stats.record_decision t.stats ~cached:true
         ~unknown:(not (Outcome.decided o));
@@ -195,7 +216,7 @@ let decide ?budget t sys =
       let o = run ~stats:t.stats ~budget t.checkers sys in
       (match (t.cache, o.Outcome.verdict) with
       | Some _, Outcome.Unknown _ -> () (* budget-dependent: never cached *)
-      | Some c, _ -> Lru.add c fp o
+      | Some c, _ -> Lru_sharded.add c fp o
       | None, _ -> ());
       finish fp o
 
@@ -206,6 +227,7 @@ type batch_report = {
   cache_hits : int;
   cache_misses : int;
   batch_seconds : float;
+  jobs : int;
   per_procedure : (string * int) list;
 }
 
@@ -215,51 +237,107 @@ let hit_rate r =
     float_of_int (r.batch_dedup_hits + r.cache_hits)
     /. float_of_int r.submitted
 
-let decide_batch ?budget t syss =
+(* Per-procedure tally: constant-time bumps plus a first-seen order
+   list, replacing the old O(n²) assoc-list shuffle. *)
+module Tally = struct
+  type t = {
+    counts : (string, int) Hashtbl.t;
+    mutable order : string list;  (* reversed first-seen *)
+  }
+
+  let create () = { counts = Hashtbl.create 8; order = [] }
+
+  let bump t (o : _ Outcome.t) =
+    let label = Outcome.provenance o in
+    match Hashtbl.find_opt t.counts label with
+    | Some n -> Hashtbl.replace t.counts label (n + 1)
+    | None ->
+        Hashtbl.add t.counts label 1;
+        t.order <- label :: t.order
+
+  let to_list t =
+    List.rev_map (fun l -> (l, Hashtbl.find t.counts l)) t.order
+end
+
+let decide_batch ?budget ?(jobs = 1) t syss =
+  if jobs < 1 then invalid_arg "Engine.decide_batch: jobs must be >= 1";
+  let submitted = List.length syss in
   let sp =
     Obs.start_span "engine.batch"
-      ~attrs:(fun () -> [ A.int "submitted" (List.length syss) ])
+      ~attrs:(fun () -> [ A.int "submitted" submitted; A.int "jobs" jobs ])
   in
-  let t0 = Sys.time () in
+  let t0 = Obs.now_s () in
+  let keyed = List.map (fun sys -> (t.fingerprint sys, sys)) syss in
+  (* Parallel prelude: fan the batch's distinct systems out to a domain
+     pool, one decision per task, and collect their outcomes. [decide]
+     is safe to run concurrently (pure core, sharded cache, atomic
+     stats), so workers need no further coordination. The sequential
+     merge below then finds every distinct fingerprint pre-decided. *)
+  let predecided : (string, 'a Outcome.t) Hashtbl.t =
+    Hashtbl.create (if jobs > 1 then 64 else 0)
+  in
+  if jobs > 1 then begin
+    let seen_fp = Hashtbl.create 64 in
+    let uniq =
+      List.filter
+        (fun (fp, _) ->
+          if Hashtbl.mem seen_fp fp then false
+          else begin
+            Hashtbl.add seen_fp fp ();
+            true
+          end)
+        keyed
+    in
+    Par.with_pool ~domains:jobs (fun pool ->
+        Par.iter pool
+          (fun (fp, sys) ->
+            let o = decide ?budget t sys in
+            (* Distinct fingerprints: each worker writes its own key. *)
+            Hashtbl.replace predecided fp o)
+          uniq)
+  end;
+  (* Sequential merge, identical for every [jobs]: submission order,
+     duplicate folding, and accounting are the same code path whether
+     the decisions were just computed in parallel or are computed here
+     inline — so [jobs:1] is exactly the old sequential behavior. *)
   let seen : (string, 'a Outcome.t) Hashtbl.t = Hashtbl.create 64 in
   let fps = Hashtbl.create 64 in
   let dedup = ref 0 and hits = ref 0 and misses = ref 0 in
-  let procs = ref [] in
-  let bump_proc (o : _ Outcome.t) =
-    let label = Outcome.provenance o in
-    procs :=
-      (match List.assoc_opt label !procs with
-      | Some n -> (label, n + 1) :: List.remove_assoc label !procs
-      | None -> (label, 1) :: !procs)
-  in
+  let tally = Tally.create () in
   let outcomes =
     List.map
-      (fun sys ->
-        let fp = t.fingerprint sys in
+      (fun (fp, sys) ->
         Hashtbl.replace fps fp ();
         match Hashtbl.find_opt seen fp with
         | Some o ->
             incr dedup;
             { o with Outcome.cached = true }
         | None ->
-            let o = decide ?budget t sys in
+            let o =
+              match Hashtbl.find_opt predecided fp with
+              | Some o ->
+                  Hashtbl.remove predecided fp;
+                  o
+              | None -> decide ?budget t sys
+            in
             if o.Outcome.cached then incr hits else incr misses;
             (* Unknowns are not replicated across the batch either: a
                duplicate of an undecided system re-runs the pipeline. *)
             if Outcome.decided o then Hashtbl.replace seen fp o;
-            bump_proc o;
+            Tally.bump tally o;
             o)
-      syss
+      keyed
   in
   let report =
     {
-      submitted = List.length syss;
+      submitted;
       unique = Hashtbl.length fps;
       batch_dedup_hits = !dedup;
       cache_hits = !hits;
       cache_misses = !misses;
-      batch_seconds = Sys.time () -. t0;
-      per_procedure = List.rev !procs;
+      batch_seconds = Obs.now_s () -. t0;
+      jobs;
+      per_procedure = Tally.to_list tally;
     }
   in
   if Obs.enabled () then
@@ -276,10 +354,11 @@ let decide_batch ?budget t syss =
 let pp_batch_report ppf r =
   Format.fprintf ppf
     "@[<v>batch: %d submitted, %d unique, %d batch duplicate(s), %d cache \
-     hit(s), %d miss(es); hit rate %.1f%%; %.3f ms@,per procedure: %s@]"
+     hit(s), %d miss(es); hit rate %.1f%%; %.3f ms%s@,per procedure: %s@]"
     r.submitted r.unique r.batch_dedup_hits r.cache_hits r.cache_misses
     (100. *. hit_rate r)
     (r.batch_seconds *. 1_000.)
+    (if r.jobs > 1 then Printf.sprintf " (%d jobs)" r.jobs else "")
     (if r.per_procedure = [] then "-"
      else
        String.concat ", "

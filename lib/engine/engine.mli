@@ -1,9 +1,11 @@
 (** The staged safety-decision engine.
 
     An engine instance bundles an ordered checker pipeline, a canonical
-    fingerprint function, an LRU verdict cache keyed on fingerprints, a
-    default budget, and instrumentation counters. It serves single
-    decisions ({!decide}) and deduplicated batches ({!decide_batch}).
+    fingerprint function, a sharded LRU verdict cache keyed on
+    fingerprints, a default budget, and instrumentation counters. It
+    serves single decisions ({!decide}) and deduplicated batches
+    ({!decide_batch}), optionally fanned out over a domain pool
+    ([~jobs]).
 
     Caching is sound because fingerprints are canonical over everything a
     verdict depends on (database, steps, partial orders). [Unknown]
@@ -11,7 +13,10 @@
     that produced them, and a later call with a larger budget must be
     allowed to try again.
 
-    Engine instances are not thread-safe; use one per domain. *)
+    Domain-safety: the pipeline core is pure, the cache is sharded
+    ({!Lru_sharded}), and {!Stats} is atomic-counter-backed — one engine
+    instance may serve {!decide} calls from several domains
+    concurrently. *)
 
 type ('sys, 'ev) t
 
@@ -45,12 +50,17 @@ val run :
     Stages run in order; inapplicable stages are ignored, stages after
     the budget's deadline are marked [Skipped], stage errors are recorded
     and the pipeline continues. If no stage decides, the outcome is
-    [Unknown] carrying the aggregated stage errors. *)
+    [Unknown] carrying the aggregated stage errors.
+
+    Reentrant: allocates no shared state, so the same checker list may
+    be run from several domains at once. Stage [seconds] are wall-clock
+    ({!Distlock_obs.Obs.now_s}); the per-stage span additionally carries
+    a [cpu_seconds] attribute ({!Distlock_obs.Obs.cpu_s}). *)
 
 val decide : ?budget:Budget.t -> ('sys, 'ev) t -> 'sys -> 'ev Outcome.t
 (** Fingerprint, consult the cache, run the pipeline on a miss, store
     decided outcomes. The returned outcome has [cached = true] on a
-    hit. *)
+    hit. Safe to call concurrently from several domains. *)
 
 (** What happened to one batch. *)
 type batch_report = {
@@ -59,18 +69,34 @@ type batch_report = {
   batch_dedup_hits : int;  (** Duplicates folded within this batch. *)
   cache_hits : int;  (** Served by the engine's LRU cache. *)
   cache_misses : int;  (** Full pipeline runs. *)
-  batch_seconds : float;
+  batch_seconds : float;  (** Wall-clock seconds for the whole batch. *)
+  jobs : int;  (** Domain count the batch ran with ([1] = sequential). *)
   per_procedure : (string * int) list;
-      (** Deciding procedure label -> verdict count over unique systems. *)
+      (** Deciding procedure label -> verdict count over unique systems,
+          in first-seen submission order. *)
 }
 
 val hit_rate : batch_report -> float
 (** (batch-dedup hits + cache hits) / submitted; [0.] on an empty batch. *)
 
 val decide_batch :
-  ?budget:Budget.t -> ('sys, 'ev) t -> 'sys list -> 'ev Outcome.t list * batch_report
+  ?budget:Budget.t ->
+  ?jobs:int ->
+  ('sys, 'ev) t ->
+  'sys list ->
+  'ev Outcome.t list * batch_report
 (** Decide many systems at once: duplicates (by fingerprint) are decided
     once and their outcome replicated, in submission order. Per-stage
-    counters and timings accumulate in [stats t]. *)
+    counters and timings accumulate in [stats t].
+
+    [jobs] (default [1]) is the number of domains deciding the batch's
+    distinct systems. [jobs:1] runs everything on the calling domain and
+    is exactly the sequential behavior; [jobs:n] fans the distinct
+    systems out to [n] pool domains and then merges on the caller, so
+    outcomes, their order, and every report field except [batch_seconds]
+    are identical for every [jobs]. Raises [Invalid_argument] when
+    [jobs < 1]. *)
 
 val pp_batch_report : Format.formatter -> batch_report -> unit
+(** One line of totals plus a per-procedure tally; mentions the job
+    count only when it is > 1, so sequential output is unchanged. *)

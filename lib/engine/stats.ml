@@ -25,6 +25,10 @@ type handles = {
   seconds_h : M.histogram;
 }
 
+(* [tbl]/[order] are guarded by [lock]: stage handles are get-or-create
+   and several pool domains can record the same stage's first sample at
+   once. The counters themselves are [Atomic]-backed ({!M}), so the
+   recording hot path after handle lookup is lock-free. *)
 type t = {
   reg : R.t;
   decisions_c : M.counter;
@@ -33,6 +37,7 @@ type t = {
   unknowns_c : M.counter;
   tbl : (string, handles) Hashtbl.t;
   mutable order : string list;  (* reversed first-seen order *)
+  lock : Mutex.t;
 }
 
 let create ?registry () =
@@ -53,14 +58,26 @@ let create ?registry () =
         "distlock_engine_unknowns_total";
     tbl = Hashtbl.create 8;
     order = [];
+    lock = Mutex.create ();
   }
 
 let registry t = t.reg
 
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | r ->
+      Mutex.unlock t.lock;
+      r
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
+
 let reset t =
   R.reset t.reg;
-  Hashtbl.reset t.tbl;
-  t.order <- []
+  with_lock t (fun () ->
+      Hashtbl.reset t.tbl;
+      t.order <- [])
 
 let result_counter t ~stage result =
   R.counter t.reg
@@ -68,27 +85,28 @@ let result_counter t ~stage result =
     ~help:"Stage executions by result" "distlock_engine_stage_total"
 
 let handles t name =
-  match Hashtbl.find_opt t.tbl name with
-  | Some h -> h
-  | None ->
-      let h =
-        {
-          h_name = name;
-          safe_c = result_counter t ~stage:name "safe";
-          unsafe_c = result_counter t ~stage:name "unsafe";
-          passed_c = result_counter t ~stage:name "passed";
-          errors_c = result_counter t ~stage:name "error";
-          skipped_c = result_counter t ~stage:name "skipped";
-          seconds_h =
-            R.histogram t.reg
-              ~labels:[ ("stage", name) ]
-              ~help:"Stage latency in seconds"
-              "distlock_engine_stage_seconds";
-        }
-      in
-      Hashtbl.add t.tbl name h;
-      t.order <- name :: t.order;
-      h
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              h_name = name;
+              safe_c = result_counter t ~stage:name "safe";
+              unsafe_c = result_counter t ~stage:name "unsafe";
+              passed_c = result_counter t ~stage:name "passed";
+              errors_c = result_counter t ~stage:name "error";
+              skipped_c = result_counter t ~stage:name "skipped";
+              seconds_h =
+                R.histogram t.reg
+                  ~labels:[ ("stage", name) ]
+                  ~help:"Stage latency in seconds"
+                  "distlock_engine_stage_seconds";
+            }
+          in
+          Hashtbl.add t.tbl name h;
+          t.order <- name :: t.order;
+          h)
 
 let record_stage t ~name (status, unsafe) seconds =
   let h = handles t name in
@@ -139,7 +157,9 @@ let view h =
     seconds = M.histogram_sum h.seconds_h;
   }
 
-let stages t = List.rev_map (fun name -> view (Hashtbl.find t.tbl name)) t.order
+let stages t =
+  let names = with_lock t (fun () -> t.order) in
+  List.rev_map (fun name -> view (with_lock t (fun () -> Hashtbl.find t.tbl name))) names
 
 (* Mean time per run, defined as 0 when the stage was recorded but never
    attempted (deadline skips only) — not NaN. *)

@@ -3,7 +3,11 @@
     stage, result-labeled counters and a latency histogram. The original
     accessor API is preserved — callers still read plain ints and a
     {!stage} record list — while [--metrics] exports the same numbers as
-    Prometheus text via {!pp_prometheus}. *)
+    Prometheus text via {!pp_prometheus}.
+
+    Domain-safe: the counters are [Atomic]-backed, stage-handle creation
+    is mutex-guarded get-or-create, so concurrent recording from pool
+    workers ([decide_batch ~jobs]) loses no samples. *)
 
 type stage = {
   stage_name : string;
@@ -13,7 +17,7 @@ type stage = {
   mutable passed : int;
   mutable errors : int;
   mutable skipped : int;  (** Deadline-expired skips (not counted as attempts). *)
-  mutable seconds : float;  (** Cumulative processor time in the stage. *)
+  mutable seconds : float;  (** Cumulative wall-clock time in the stage. *)
 }
 (** A point-in-time view computed from the registry; mutating it does
     not write back. *)

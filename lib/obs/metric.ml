@@ -1,24 +1,33 @@
-type counter = { mutable count : int }
+(* Instruments are domain-safe: counters and gauges are [Atomic] cells
+   (an update is one lock-free RMW), histograms take a per-histogram
+   mutex because one observation touches a bucket, the sum, and the
+   count and must stay consistent under concurrent readers. *)
 
-let counter () = { count = 0 }
+type counter = int Atomic.t
 
-let incr_by c n = if n > 0 then c.count <- c.count + n
+let counter () = Atomic.make 0
 
-let incr c = c.count <- c.count + 1
+let rec add_positive c n =
+  let cur = Atomic.get c in
+  if not (Atomic.compare_and_set c cur (cur + n)) then add_positive c n
 
-let counter_value c = c.count
+let incr_by c n = if n > 0 then add_positive c n
 
-let reset_counter c = c.count <- 0
+let incr c = Atomic.incr c
 
-type gauge = { mutable value : float }
+let counter_value c = Atomic.get c
 
-let gauge () = { value = 0. }
+let reset_counter c = Atomic.set c 0
 
-let set g v = g.value <- v
+type gauge = float Atomic.t
 
-let gauge_value g = g.value
+let gauge () = Atomic.make 0.
 
-let reset_gauge g = g.value <- 0.
+let set g v = Atomic.set g v
+
+let gauge_value g = Atomic.get g
+
+let reset_gauge g = Atomic.set g 0.
 
 (* Fixed upper-bound buckets; counts has one extra slot for +Inf. The
    bounds are validated once at creation so [observe] is a bare linear
@@ -28,6 +37,7 @@ type histogram = {
   counts : int array;
   mutable sum : float;
   mutable observations : int;
+  h_lock : Mutex.t;
 }
 
 (* 1µs .. 10s — spans engine stage times from trivial connectivity
@@ -43,32 +53,41 @@ let histogram ?(buckets = latency_buckets) () =
       invalid_arg "Metric.histogram: bucket bounds must be strictly increasing"
   done;
   { bounds = Array.copy buckets; counts = Array.make (n + 1) 0; sum = 0.;
-    observations = 0 }
+    observations = 0; h_lock = Mutex.create () }
+
+let with_lock h f =
+  Mutex.lock h.h_lock;
+  let r = f () in
+  Mutex.unlock h.h_lock;
+  r
 
 let observe h v =
   let n = Array.length h.bounds in
   let rec slot i = if i >= n || v <= h.bounds.(i) then i else slot (i + 1) in
   let i = slot 0 in
-  h.counts.(i) <- h.counts.(i) + 1;
-  h.sum <- h.sum +. v;
-  h.observations <- h.observations + 1
+  with_lock h (fun () ->
+      h.counts.(i) <- h.counts.(i) + 1;
+      h.sum <- h.sum +. v;
+      h.observations <- h.observations + 1)
 
-let histogram_sum h = h.sum
+let histogram_sum h = with_lock h (fun () -> h.sum)
 
-let histogram_count h = h.observations
+let histogram_count h = with_lock h (fun () -> h.observations)
 
 let bucket_bounds h = Array.copy h.bounds
 
 (* Cumulative counts in bound order, ending with the +Inf total. *)
 let cumulative h =
+  let counts = with_lock h (fun () -> Array.copy h.counts) in
   let acc = ref 0 in
   Array.map
     (fun c ->
       acc := !acc + c;
       !acc)
-    h.counts
+    counts
 
 let reset_histogram h =
-  Array.fill h.counts 0 (Array.length h.counts) 0;
-  h.sum <- 0.;
-  h.observations <- 0
+  with_lock h (fun () ->
+      Array.fill h.counts 0 (Array.length h.counts) 0;
+      h.sum <- 0.;
+      h.observations <- 0)

@@ -1,6 +1,8 @@
 (** Raw metric instruments: monotone counters, gauges, and fixed-bucket
-    latency histograms. Handles are plain mutable records so the hot-path
-    cost of an update is a field write; registration, naming, and
+    latency histograms. All instruments are domain-safe: counters and
+    gauges are [Atomic] cells (an update is one lock-free RMW), and a
+    histogram observation runs under a per-histogram mutex so the
+    bucket/sum/count triple stays consistent. Registration, naming, and
     exposition live in {!Registry}. *)
 
 type counter

@@ -15,28 +15,39 @@ let level_of_string = function
   | "debug" -> Some Debug
   | _ -> None
 
-let current_sink = ref Sink.noop
+(* Sink and level are installed once at startup but read from every
+   domain; [Atomic] makes the publication well-defined. *)
+let current_sink = Atomic.make Sink.noop
 
-let current_level = ref Info
+let current_level = Atomic.make Info
 
 let global = Registry.create ()
 
-let set_sink s = current_sink := s
+let set_sink s = Atomic.set current_sink s
 
-let sink () = !current_sink
+let sink () = Atomic.get current_sink
 
-let set_level l = current_level := l
+let set_level l = Atomic.set current_level l
 
-let level () = !current_level
+let level () = Atomic.get current_level
 
 (* The one check every instrumentation site makes first: with the no-op
    sink installed this is a pointer comparison, and attribute thunks are
    never forced. *)
-let enabled () = not (Sink.is_noop !current_sink)
+let enabled () = not (Sink.is_noop (Atomic.get current_sink))
 
-let logs l = enabled () && level_rank l <= level_rank !current_level
+let logs l = enabled () && level_rank l <= level_rank (Atomic.get current_level)
 
-let now () = Unix.gettimeofday ()
+(* The single clock helper for every duration the system reports:
+   span durations, stage timings, batch wall time. Process CPU time
+   ({!cpu_s}) stays available for the attributes that genuinely mean
+   CPU work — under several domains the two diverge, and mixing them
+   under-reports wall time (or over-reports it by the domain count). *)
+let now_s () = Unix.gettimeofday ()
+
+let cpu_s () = Sys.time ()
+
+let domain_id () = (Domain.self () :> int)
 
 type ctx = {
   id : int;
@@ -49,26 +60,33 @@ type ctx = {
 
 type span_ctx = ctx option
 
-let next_id = ref 0
+let next_id = Atomic.make 0
 
-let stack = ref []
+(* The open-span stack is per domain: a worker's spans parent to the
+   worker's own enclosing spans, never to a frame another domain pushed
+   concurrently. *)
+let stack : int list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
-let current_span_id () = match !stack with [] -> None | p :: _ -> Some p
+let current_span_id () =
+  match !(Domain.DLS.get stack) with [] -> None | p :: _ -> Some p
 
 let start_span ?attrs name =
   if not (enabled ()) then None
   else begin
-    incr next_id;
-    let id = !next_id in
+    let id = 1 + Atomic.fetch_and_add next_id 1 in
     let parent = current_span_id () in
-    stack := id :: !stack;
+    let st = Domain.DLS.get stack in
+    st := id :: !st;
     Some
       {
         id;
         parent;
         ctx_name = name;
-        start = now ();
-        ctx_attrs = (match attrs with None -> [] | Some f -> f ());
+        start = now_s ();
+        ctx_attrs =
+          Attr.int "domain" (domain_id ())
+          :: (match attrs with None -> [] | Some f -> f ());
         closed = false;
       }
   end
@@ -86,14 +104,15 @@ let end_span sc =
         c.closed <- true;
         (* Remove our frame wherever it sits, so an out-of-order close
            (e.g. via an exception path) cannot orphan the stack. *)
-        stack := List.filter (fun i -> i <> c.id) !stack;
-        !current_sink.Sink.on_span
+        let st = Domain.DLS.get stack in
+        st := List.filter (fun i -> i <> c.id) !st;
+        (Atomic.get current_sink).Sink.on_span
           {
             Span.id = c.id;
             parent = c.parent;
             name = c.ctx_name;
             start_s = c.start;
-            duration_s = now () -. c.start;
+            duration_s = now_s () -. c.start;
             attrs = c.ctx_attrs;
           }
       end
@@ -110,12 +129,14 @@ let with_span ?attrs name f =
 
 let event ?(level = Info) ?attrs name =
   if logs level then
-    !current_sink.Sink.on_event
+    (Atomic.get current_sink).Sink.on_event
       {
         Span.name;
-        time_s = now ();
+        time_s = now_s ();
         span = current_span_id ();
-        attrs = (match attrs with None -> [] | Some f -> f ());
+        attrs =
+          Attr.int "domain" (domain_id ())
+          :: (match attrs with None -> [] | Some f -> f ());
       }
 
-let flush () = !current_sink.Sink.flush ()
+let flush () = (Atomic.get current_sink).Sink.flush ()

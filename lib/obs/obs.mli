@@ -5,8 +5,14 @@
     Overhead contract: with the default no-op sink, {!enabled} is a
     pointer comparison and every [?attrs] thunk goes unforced, so
     instrumented hot paths pay essentially nothing (the E14 experiment
-    in [bench/] measures this). Single-threaded by design, like the rest
-    of the repo. *)
+    in [bench/] measures this).
+
+    Domain-safety: span ids are allocated from one [Atomic]; the
+    open-span stack is {e per domain} ([Domain.DLS]), so spans parent
+    only within their own domain; every span and event carries a
+    ["domain"] attribute; and the shipped sinks serialize writes, so
+    concurrent JSONL lines never interleave. Install the sink and level
+    from the main domain before spawning workers. *)
 
 type level = Error | Warn | Info | Debug
 
@@ -32,6 +38,22 @@ val logs : level -> bool
 (** [enabled () && l] is within the current log level — the gate
     {!event} applies. *)
 
+val now_s : unit -> float
+(** The single wall-clock helper (seconds since the epoch, sub-µs
+    resolution) used for every duration the system reports: span
+    durations, engine stage timings, batch wall time. Use this — not
+    [Sys.time], which is process CPU time and diverges from wall time
+    as soon as more than one domain runs. *)
+
+val cpu_s : unit -> float
+(** Process CPU time, for attributes that genuinely mean CPU work
+    (e.g. the [cpu_seconds] span attribute on engine stages). Summed
+    over all domains by the OS, so it can exceed wall time under
+    parallelism. *)
+
+val domain_id : unit -> int
+(** The current domain's id, as tagged on spans and events. *)
+
 val global : Registry.t
 (** The process-wide metrics registry ([--metrics] exports it).
     Library-level progress counters (simulator ticks, brute-force
@@ -42,8 +64,9 @@ type span_ctx
 (** An open span, or a free dummy when tracing is disabled. *)
 
 val start_span : ?attrs:(unit -> Attr.t) -> string -> span_ctx
-(** Opens a span as a child of the innermost open span. The [attrs]
-    thunk is forced only when tracing is enabled. *)
+(** Opens a span as a child of the innermost open span {e of the
+    calling domain}. The [attrs] thunk is forced only when tracing is
+    enabled; a ["domain"] attribute is prepended automatically. *)
 
 val add_attrs : span_ctx -> Attr.t -> unit
 (** Appends attributes to an open span (callers should guard argument
@@ -60,6 +83,7 @@ val current_span_id : unit -> int option
 
 val event : ?level:level -> ?attrs:(unit -> Attr.t) -> string -> unit
 (** Emits a point event (default level [Info]) attached to the innermost
-    open span; dropped unless [logs level]. *)
+    open span of the calling domain; dropped unless [logs level].
+    Carries a ["domain"] attribute like spans do. *)
 
 val flush : unit -> unit

@@ -10,13 +10,28 @@ type entry = {
   instrument : instrument;
 }
 
+(* The table and order list are guarded by [lock]: get-or-create must be
+   atomic under concurrent registration from worker domains, or two
+   domains asking for the same (name, labels) key could each create an
+   instrument and split the counts between them. *)
 type t = {
   tbl : (string * (string * string) list, entry) Hashtbl.t;
   mutable order : (string * (string * string) list) list;
       (* reversed first-registration order *)
+  lock : Mutex.t;
 }
 
-let create () = { tbl = Hashtbl.create 32; order = [] }
+let create () = { tbl = Hashtbl.create 32; order = []; lock = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | r ->
+      Mutex.unlock t.lock;
+      r
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
 
 let valid_name n =
   n <> ""
@@ -31,18 +46,20 @@ let register t ~name ~help ~labels make wrong_kind =
   if not (valid_name name) then
     invalid_arg (Printf.sprintf "Registry: invalid metric name %S" name);
   let key = (name, labels) in
-  match Hashtbl.find_opt t.tbl key with
-  | Some e -> (
-      match wrong_kind e.instrument with
-      | Some got ->
-          invalid_arg
-            (Printf.sprintf "Registry: %s already registered as a %s" name got)
-      | None -> e.instrument)
-  | None ->
-      let instrument = make () in
-      Hashtbl.add t.tbl key { name; help; labels; instrument };
-      t.order <- key :: t.order;
-      instrument
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e -> (
+          match wrong_kind e.instrument with
+          | Some got ->
+              invalid_arg
+                (Printf.sprintf "Registry: %s already registered as a %s" name
+                   got)
+          | None -> e.instrument)
+      | None ->
+          let instrument = make () in
+          Hashtbl.add t.tbl key { name; help; labels; instrument };
+          t.order <- key :: t.order;
+          instrument)
 
 let kind_label = function
   | Counter _ -> "counter"
@@ -76,16 +93,18 @@ let histogram t ?(labels = []) ?buckets ~help name =
   | Histogram h -> h
   | _ -> assert false
 
-let entries t = List.rev_map (Hashtbl.find t.tbl) t.order
+let entries t =
+  with_lock t (fun () -> List.rev_map (Hashtbl.find t.tbl) t.order)
 
 let reset t =
-  Hashtbl.iter
-    (fun _ e ->
-      match e.instrument with
-      | Counter c -> Metric.reset_counter c
-      | Gauge g -> Metric.reset_gauge g
-      | Histogram h -> Metric.reset_histogram h)
-    t.tbl
+  with_lock t (fun () ->
+      Hashtbl.iter
+        (fun _ e ->
+          match e.instrument with
+          | Counter c -> Metric.reset_counter c
+          | Gauge g -> Metric.reset_gauge g
+          | Histogram h -> Metric.reset_histogram h)
+        t.tbl)
 
 (* ------------------------------------------------------------------ *)
 (* Prometheus text exposition (version 0.0.4): one HELP/TYPE header per

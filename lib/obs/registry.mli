@@ -4,7 +4,11 @@
     Registration is get-or-create keyed on (name, labels): asking twice
     for the same key returns the same handle, so modules can keep lazy
     handles without coordinating. Re-registering a name as a different
-    instrument kind raises [Invalid_argument]. *)
+    instrument kind raises [Invalid_argument].
+
+    Get-or-create, {!entries}, and {!reset} are domain-safe (one mutex
+    per registry): concurrent registration of the same key from several
+    worker domains yields a single shared instrument. *)
 
 type instrument =
   | Counter of Metric.counter

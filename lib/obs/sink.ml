@@ -8,23 +8,47 @@ let noop = { on_span = ignore; on_event = ignore; flush = ignore }
 
 let is_noop s = s == noop
 
-let pretty ppf =
+(* One mutex over all three callbacks: worker domains deliver records
+   concurrently, and a text sink that interleaves two half-written lines
+   is corrupt. Delivery sections are short (format + write), so a plain
+   mutex is fine. *)
+let serialized s =
+  let lock = Mutex.create () in
+  let guarded f x =
+    Mutex.lock lock;
+    match f x with
+    | r ->
+        Mutex.unlock lock;
+        r
+    | exception e ->
+        Mutex.unlock lock;
+        raise e
+  in
   {
-    on_span = (fun s -> Format.fprintf ppf "%a@." Span.pp_span s);
-    on_event = (fun e -> Format.fprintf ppf "%a@." Span.pp_event e);
-    flush = (fun () -> Format.pp_print_flush ppf ());
+    on_span = guarded s.on_span;
+    on_event = guarded s.on_event;
+    flush = guarded s.flush;
   }
+
+let pretty ppf =
+  serialized
+    {
+      on_span = (fun s -> Format.fprintf ppf "%a@." Span.pp_span s);
+      on_event = (fun e -> Format.fprintf ppf "%a@." Span.pp_event e);
+      flush = (fun () -> Format.pp_print_flush ppf ());
+    }
 
 let jsonl oc =
   let line j =
     output_string oc (Json.to_string j);
     output_char oc '\n'
   in
-  {
-    on_span = (fun s -> line (Span.span_to_json s));
-    on_event = (fun e -> line (Span.event_to_json e));
-    flush = (fun () -> flush oc);
-  }
+  serialized
+    {
+      on_span = (fun s -> line (Span.span_to_json s));
+      on_event = (fun e -> line (Span.event_to_json e));
+      flush = (fun () -> flush oc);
+    }
 
 let tee a b =
   {
@@ -44,9 +68,10 @@ let tee a b =
 
 let collecting () =
   let spans = ref [] and events = ref [] in
-  ( {
-      on_span = (fun s -> spans := s :: !spans);
-      on_event = (fun e -> events := e :: !events);
-      flush = ignore;
-    },
+  ( serialized
+      {
+        on_span = (fun s -> spans := s :: !spans);
+        on_event = (fun e -> events := e :: !events);
+        flush = ignore;
+      },
     fun () -> (List.rev !spans, List.rev !events) )

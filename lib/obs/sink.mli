@@ -15,16 +15,22 @@ val noop : t
 
 val is_noop : t -> bool
 
+val serialized : t -> t
+(** Wraps every callback of a sink in one shared mutex, so concurrent
+    deliveries from several domains never interleave. The sinks below
+    are already serialized; use this for hand-rolled ones. *)
+
 val pretty : Format.formatter -> t
-(** One human-readable line per record. *)
+(** One human-readable line per record. Serialized. *)
 
 val jsonl : out_channel -> t
 (** One compact JSON object per line ({!Span.span_to_json} /
     {!Span.event_to_json}). The channel is not closed by the sink;
-    [flush] flushes it. *)
+    [flush] flushes it. Serialized: lines from concurrent domains never
+    interleave. *)
 
 val tee : t -> t -> t
 
 val collecting : unit -> t * (unit -> Span.span list * Span.event list)
 (** In-memory sink for tests: the closure returns everything received so
-    far, in emission order. *)
+    far, in emission order. Serialized. *)

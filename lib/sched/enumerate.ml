@@ -79,17 +79,18 @@ let undo st i s =
 let snapshot st = Schedule.of_events (Array.to_list st.trace)
 
 (* Progress counter for exhaustive enumeration, mirrored in the global
-   metrics registry so long runs are observable from outside. *)
-let m_schedules =
-  lazy
-    (Distlock_obs.Registry.counter Distlock_obs.Obs.global
-       ~help:"Complete legal schedules visited by state enumeration"
-       "distlock_enumerate_schedules_total")
+   metrics registry so long runs are observable from outside. Fetched
+   once per run via mutex-guarded get-or-create — a shared [lazy]
+   forced from several pool domains at once raises [RacyLazy]. *)
+let m_schedules () =
+  Distlock_obs.Registry.counter Distlock_obs.Obs.global
+    ~help:"Complete legal schedules visited by state enumeration"
+    "distlock_enumerate_schedules_total"
 
 let iter_legal sys f =
   let st = init sys in
   let n = System.num_txns sys in
-  let progress = Lazy.force m_schedules in
+  let progress = m_schedules () in
   let rec go () =
     if st.executed = st.total then begin
       Distlock_obs.Metric.incr progress;

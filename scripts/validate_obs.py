@@ -42,8 +42,12 @@ def check_json(path):
             check_outcome(o, f"results[{i}]")
         need(data["report"],
              ["submitted", "unique", "batch_dedup_hits", "cache_hits",
-              "cache_misses", "hit_rate", "seconds", "per_procedure"],
+              "cache_misses", "hit_rate", "seconds", "jobs", "per_procedure"],
              "report")
+        if not (isinstance(data["report"]["jobs"], int)
+                and data["report"]["jobs"] >= 1):
+            die(f"report: jobs must be a positive int, got "
+                f"{data['report']['jobs']!r}")
     else:  # single check
         check_outcome(data, "outcome")
 
@@ -112,6 +116,28 @@ def check_bench(path):
     for i, e in enumerate(data["experiments"]):
         need(e, ["id", "params", "wall_seconds", "cpu_seconds", "metrics"],
              f"experiments[{i}]")
+        if e["id"] == "E15":
+            check_e15(e)
+
+
+def check_e15(e):
+    """The parallel-speedup artifact: a per-jobs curve with agreement
+    flags, plus the headline jobs:4 speedup."""
+    m = e["metrics"]
+    need(e["params"], ["corpus_systems", "recommended_domain_count"],
+         "E15.params")
+    if e["params"]["corpus_systems"] < 500:
+        die(f"E15: corpus too small ({e['params']['corpus_systems']} < 500)")
+    for jobs in (1, 2, 4, 8):
+        need(m, [f"jobs{jobs}_seconds", f"jobs{jobs}_speedup",
+                 f"jobs{jobs}_verdicts_agree"], "E15.metrics")
+        if m[f"jobs{jobs}_seconds"] <= 0:
+            die(f"E15: jobs{jobs}_seconds not positive")
+        if m[f"jobs{jobs}_verdicts_agree"] is not True:
+            die(f"E15: verdicts disagree between jobs:1 and jobs:{jobs}")
+    need(m, ["speedup_jobs4"], "E15.metrics")
+    if m["speedup_jobs4"] <= 0:
+        die("E15: speedup_jobs4 not positive")
 
 
 def main():

@@ -207,6 +207,36 @@ every engine stage span carries its checker and verdict attributes:
   $ grep '^distlock_engine_decisions_total' metrics.prom
   distlock_engine_decisions_total 2
 
+--jobs fans the batch's distinct systems out to a domain pool; verdicts,
+counts, and exit codes are the same as the sequential run, and the
+report names the job count:
+
+  $ ../../bin/distlock_cli.exe batch --jobs 4 safe.txt unsafe.txt safe.txt \
+  >   | sed -E 's/[0-9.]+ ms/_ ms/'
+  safe.txt: SAFE — Theorem 1: D(T1,T2) strongly connected
+  unsafe.txt: UNSAFE — Theorem 2: certificate from the dominator closure
+  safe.txt: SAFE — Theorem 1: D(T1,T2) strongly connected (cached)
+  batch: 3 submitted, 2 unique, 1 batch duplicate(s), 0 cache hit(s), 2 miss(es); hit rate 33.3%; _ ms (4 jobs)
+  per procedure: Thm 1 ×1, Thm 2 ×1
+
+  $ ../../bin/distlock_cli.exe batch --jobs 2 --json safe.txt unsafe.txt \
+  >   | grep '"jobs"'
+      "jobs": 2,
+
+  $ ../../bin/distlock_cli.exe batch --jobs 0 safe.txt
+  distlock: --jobs must be >= 1
+  [2]
+
+Spans emitted from pool workers carry the emitting domain's id; so do
+spans from the main domain:
+
+  $ ../../bin/distlock_cli.exe batch --jobs 2 safe.txt unsafe.txt \
+  >   --trace spans_par.jsonl > /dev/null
+  [1]
+  $ grep '"name":"engine.stage"' spans_par.jsonl | grep -vc '"domain":'
+  0
+  [1]
+
 The simulator exports its full step event stream — committed and
 aborted attempts, with tick, site, entity, and attempt — as JSONL:
 

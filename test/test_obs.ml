@@ -246,6 +246,114 @@ let test_level_of_string () =
   check bool "unknown rejected" true (Obs.level_of_string "loud" = None)
 
 (* ------------------------------------------------------------------ *)
+(* Domain-safety: span domain tags, serialized sinks, shared registry *)
+
+let test_span_domain_attr () =
+  let spans, events =
+    with_collecting (fun () ->
+        Obs.with_span "main-span" (fun _ -> Obs.event "main-event");
+        Domain.join
+          (Domain.spawn (fun () ->
+               Obs.with_span "worker-span" (fun _ -> ()))))
+  in
+  let domain_of name attrs =
+    match List.assoc_opt "domain" attrs with
+    | Some (Attr.Int d) -> d
+    | _ -> Alcotest.failf "%s carries no integer domain attribute" name
+  in
+  let find name =
+    List.find (fun (s : Span.span) -> s.Span.name = name) spans
+  in
+  let main_d = domain_of "main-span" (find "main-span").Span.attrs in
+  let worker_d = domain_of "worker-span" (find "worker-span").Span.attrs in
+  check int "main span tagged with this domain" (Domain.self () :> int) main_d;
+  check bool "worker span tagged with a different domain" true
+    (worker_d <> main_d);
+  match events with
+  | [ e ] -> check int "event tagged too" main_d (domain_of "event" e.Span.attrs)
+  | l -> Alcotest.failf "expected 1 event, got %d" (List.length l)
+
+let test_jsonl_no_interleaving () =
+  (* 4 domains each emit 50 spans with long attribute payloads through
+     one jsonl sink; every line of the file must be a complete, parseable
+     record — a torn write would break the shape check. *)
+  let path = Filename.temp_file "distlock_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let sink = Sink.jsonl oc in
+      Obs.set_sink sink;
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.set_sink Sink.noop;
+          close_out oc)
+        (fun () ->
+          let payload = String.make 256 'x' in
+          let emit d =
+            for i = 0 to 49 do
+              Obs.with_span "concurrent" (fun sp ->
+                  Obs.add_attrs sp
+                    [ Attr.int "task" ((100 * d) + i); Attr.str "pad" payload ])
+            done
+          in
+          let workers = List.init 3 (fun d -> Domain.spawn (fun () -> emit (d + 1))) in
+          emit 0;
+          List.iter Domain.join workers;
+          sink.Sink.flush ());
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      check int "every span is exactly one line" 200 (List.length !lines);
+      check bool "every line is a complete record" true
+        (List.for_all
+           (fun l ->
+             String.length l > 0
+             && l.[0] = '{'
+             && l.[String.length l - 1] = '}'
+             && contains l {|"type":"span"|}
+             && contains l {|"name":"concurrent"|})
+           !lines))
+
+let test_registry_concurrent_get_or_create () =
+  (* 4 domains race get-or-create on the same name and bump it 100 times
+     each: exactly one instrument must exist, holding every increment. *)
+  let r = Registry.create () in
+  let workers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 100 do
+              Metric.incr (Registry.counter r ~help:"h" "race_total")
+            done))
+  in
+  List.iter Domain.join workers;
+  check int "single registration" 1 (List.length (Registry.entries r));
+  check int "no lost increments" 400
+    (Metric.counter_value (Registry.counter r ~help:"h" "race_total"))
+
+let test_counter_atomic_under_domains () =
+  let c = Metric.counter () in
+  let h = Metric.histogram ~buckets:[| 0.5; 1.5 |] () in
+  let workers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              Metric.incr c;
+              Metric.observe h 1.
+            done))
+  in
+  List.iter Domain.join workers;
+  check int "counter: no lost updates across 4 domains" 40_000
+    (Metric.counter_value c);
+  check int "histogram count intact" 40_000 (Metric.histogram_count h);
+  check (Alcotest.float 1e-6) "histogram sum intact" 40_000.
+    (Metric.histogram_sum h)
+
+(* ------------------------------------------------------------------ *)
 (* Engine Stats on top of the registry *)
 
 let test_stats_zero_decisions () =
@@ -344,6 +452,16 @@ let () =
             test_disabled_thunks_unforced;
           Alcotest.test_case "jsonl shape" `Quick test_span_jsonl_shape;
           Alcotest.test_case "level_of_string" `Quick test_level_of_string;
+        ] );
+      ( "domain-safety",
+        [
+          Alcotest.test_case "span domain attr" `Quick test_span_domain_attr;
+          Alcotest.test_case "jsonl no interleaving" `Quick
+            test_jsonl_no_interleaving;
+          Alcotest.test_case "registry concurrent get-or-create" `Quick
+            test_registry_concurrent_get_or_create;
+          Alcotest.test_case "atomic instruments" `Quick
+            test_counter_atomic_under_domains;
         ] );
       ( "engine stats",
         [

@@ -1,0 +1,105 @@
+(* The domain pool: ordering, exception propagation, pool reuse, and the
+   degenerate single-domain configuration. *)
+
+module Par = Distlock_par.Par
+
+let check = Util.check
+
+let check_int = Util.check_int
+
+let test_map_order () =
+  Par.with_pool ~domains:4 (fun pool ->
+      let xs = List.init 100 Fun.id in
+      let ys = Par.map pool (fun x -> x * x) xs in
+      check "results in input order" true
+        (ys = List.map (fun x -> x * x) xs);
+      check "empty input" true (Par.map pool (fun x -> x) [] = []);
+      check_int "singleton" 7 (List.hd (Par.map pool (fun x -> x + 1) [ 6 ])))
+
+let test_single_domain_inline () =
+  (* A 1-wide pool spawns nothing and runs tasks on the caller — exact
+     sequential semantics, observable through domain identity. *)
+  Par.with_pool ~domains:1 (fun pool ->
+      let here = (Domain.self () :> int) in
+      let ids =
+        Par.map pool (fun _ -> (Domain.self () :> int)) (List.init 10 Fun.id)
+      in
+      check "domains:1 runs on the calling domain" true
+        (List.for_all (( = ) here) ids))
+
+let test_exception_propagation () =
+  Par.with_pool ~domains:2 (fun pool ->
+      (match
+         Par.map pool
+           (fun x -> if x = 3 then failwith "boom" else x)
+           [ 0; 1; 2; 3; 4 ]
+       with
+      | _ -> Alcotest.fail "expected the task exception to re-raise"
+      | exception Failure msg ->
+          Alcotest.(check string) "task exception surfaces" "boom" msg);
+      (* The pool survives a failed map and keeps serving. *)
+      check_int "pool usable after an exception" 10
+        (List.fold_left ( + ) 0
+           (Par.map pool Fun.id [ 1; 2; 3; 4 ])))
+
+let test_lowest_index_exception () =
+  Par.with_pool ~domains:4 (fun pool ->
+      match
+        Par.map pool
+          (fun x -> if x mod 2 = 1 then failwith (string_of_int x) else x)
+          [ 0; 1; 2; 3; 4; 5 ]
+      with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+          Alcotest.(check string) "lowest-index task's exception wins" "1" msg)
+
+let test_iter_and_reuse () =
+  Par.with_pool ~domains:3 (fun pool ->
+      let total = Atomic.make 0 in
+      Par.iter pool
+        (fun x -> ignore (Atomic.fetch_and_add total x))
+        (List.init 101 Fun.id);
+      check_int "iter visits every element" 5050 (Atomic.get total);
+      (* Several maps through one pool: results stay independent. *)
+      let a = Par.map pool (fun x -> x + 1) (List.init 50 Fun.id)
+      and b = Par.map pool (fun x -> x * 2) (List.init 50 Fun.id) in
+      check "first map intact" true (a = List.init 50 (fun x -> x + 1));
+      check "second map intact" true (b = List.init 50 (fun x -> x * 2)))
+
+let test_shutdown () =
+  let pool = Par.create ~domains:2 in
+  check_int "usable before shutdown" 6
+    (List.fold_left ( + ) 0 (Par.map pool Fun.id [ 1; 2; 3 ]));
+  Par.shutdown pool;
+  Par.shutdown pool;
+  (* idempotent *)
+  check "submit after shutdown rejected" true
+    (try
+       Par.iter pool ignore [ 1 ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_create_validation () =
+  check "rejects domains:0" true
+    (try
+       ignore (Par.create ~domains:0);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map order" `Quick test_map_order;
+          Alcotest.test_case "single domain inline" `Quick
+            test_single_domain_inline;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "lowest-index exception" `Quick
+            test_lowest_index_exception;
+          Alcotest.test_case "iter and reuse" `Quick test_iter_and_reuse;
+          Alcotest.test_case "shutdown" `Quick test_shutdown;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+        ] );
+    ]
