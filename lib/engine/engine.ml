@@ -271,8 +271,12 @@ let decide_batch ?budget ?(jobs = 1) t syss =
   (* Parallel prelude: fan the batch's distinct systems out to a domain
      pool, one decision per task, and collect their outcomes. [decide]
      is safe to run concurrently (pure core, sharded cache, atomic
-     stats), so workers need no further coordination. The sequential
-     merge below then finds every distinct fingerprint pre-decided. *)
+     stats). Workers share no mutable state here at all: [Par.map]
+     returns results in input order, so the fingerprint table is built
+     sequentially on this domain by zipping inputs with outputs —
+     OCaml's Hashtbl is not domain-safe, even for distinct keys. The
+     sequential merge below then finds every distinct fingerprint
+     pre-decided. *)
   let predecided : (string, 'a Outcome.t) Hashtbl.t =
     Hashtbl.create (if jobs > 1 then 64 else 0)
   in
@@ -288,13 +292,11 @@ let decide_batch ?budget ?(jobs = 1) t syss =
           end)
         keyed
     in
-    Par.with_pool ~domains:jobs (fun pool ->
-        Par.iter pool
-          (fun (fp, sys) ->
-            let o = decide ?budget t sys in
-            (* Distinct fingerprints: each worker writes its own key. *)
-            Hashtbl.replace predecided fp o)
-          uniq)
+    let outs =
+      Par.with_pool ~domains:jobs (fun pool ->
+          Par.map pool (fun (_, sys) -> decide ?budget t sys) uniq)
+    in
+    List.iter2 (fun (fp, _) o -> Hashtbl.replace predecided fp o) uniq outs
   end;
   (* Sequential merge, identical for every [jobs]: submission order,
      duplicate folding, and accounting are the same code path whether

@@ -158,8 +158,14 @@ let view h =
   }
 
 let stages t =
-  let names = with_lock t (fun () -> t.order) in
-  List.rev_map (fun name -> view (with_lock t (fun () -> Hashtbl.find t.tbl name))) names
+  (* Snapshot order and handles in one critical section so a concurrent
+     [reset] cannot empty [tbl] between reading a name and resolving it;
+     the handle counters themselves are atomic, so [view] runs unlocked. *)
+  let hs =
+    with_lock t (fun () ->
+        List.filter_map (fun name -> Hashtbl.find_opt t.tbl name) t.order)
+  in
+  List.rev_map view hs
 
 (* Mean time per run, defined as 0 when the stage was recorded but never
    attempted (deadline skips only) — not NaN. *)

@@ -57,9 +57,13 @@ let histogram ?(buckets = latency_buckets) () =
 
 let with_lock h f =
   Mutex.lock h.h_lock;
-  let r = f () in
-  Mutex.unlock h.h_lock;
-  r
+  match f () with
+  | r ->
+      Mutex.unlock h.h_lock;
+      r
+  | exception e ->
+      Mutex.unlock h.h_lock;
+      raise e
 
 let observe h v =
   let n = Array.length h.bounds in

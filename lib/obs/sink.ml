@@ -66,12 +66,24 @@ let tee a b =
         b.flush ());
   }
 
+(* The reader closure takes the same mutex as the writers so reading
+   while worker domains are still emitting sees a consistent snapshot. *)
 let collecting () =
+  let lock = Mutex.create () in
   let spans = ref [] and events = ref [] in
-  ( serialized
-      {
-        on_span = (fun s -> spans := s :: !spans);
-        on_event = (fun e -> events := e :: !events);
-        flush = ignore;
-      },
-    fun () -> (List.rev !spans, List.rev !events) )
+  let guarded f x =
+    Mutex.lock lock;
+    match f x with
+    | r ->
+        Mutex.unlock lock;
+        r
+    | exception e ->
+        Mutex.unlock lock;
+        raise e
+  in
+  ( {
+      on_span = guarded (fun s -> spans := s :: !spans);
+      on_event = guarded (fun e -> events := e :: !events);
+      flush = ignore;
+    },
+    fun () -> guarded (fun () -> (List.rev !spans, List.rev !events)) () )

@@ -80,6 +80,8 @@ let map t f xs =
   else if Array.length t.domains = 0 then List.map f xs
   else begin
     let out = Array.make n None in
+    (* Exceptions carry the backtrace captured on the worker domain so a
+       failure inside a task is debuggable from the caller's raise. *)
     let exn = Array.make n None in
     let remaining = ref n in
     let done_lock = Mutex.create () in
@@ -88,7 +90,7 @@ let map t f xs =
       submit t (fun () ->
           (match f arr.(i) with
           | v -> out.(i) <- Some v
-          | exception e -> exn.(i) <- Some e);
+          | exception e -> exn.(i) <- Some (e, Printexc.get_raw_backtrace ()));
           Mutex.lock done_lock;
           decr remaining;
           if !remaining = 0 then Condition.broadcast all_done;
@@ -99,7 +101,11 @@ let map t f xs =
       Condition.wait all_done done_lock
     done;
     Mutex.unlock done_lock;
-    Array.iter (function Some e -> raise e | None -> ()) exn;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      exn;
     Array.to_list (Array.map Option.get out)
   end
 
