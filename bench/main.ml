@@ -212,16 +212,14 @@ let e4 () =
       let n = System.total_steps sys in
       let _, t_fast = time (fun () -> ignore (Twosite.decide sys)) in
       let oracle_result, t_brute =
-        time (fun () ->
-            try Some (Brute.safe_by_extensions ~limit:3_000_000 sys)
-            with Failure _ -> None)
+        time (fun () -> Brute.safe_by_extensions ~limit:3_000_000 sys)
       in
       match oracle_result with
-      | Some _ ->
+      | Brute.Safe | Brute.Unsafe _ ->
           pf "%8d %8d %11.3f ms %13.3f ms %9.0fx\n" shared n (ms t_fast)
             (ms t_brute)
             (t_brute /. max 1e-9 t_fast)
-      | None ->
+      | Brute.Exhausted _ ->
           pf "%8d %8d %11.3f ms %16s %10s\n" shared n (ms t_fast)
             "> 3M pictures" "inf")
     [ 2; 3; 4; 5; 6; 8 ]
@@ -246,7 +244,10 @@ let e5 () =
     (Dgraph.dominators d);
   let verdict, t = time (fun () -> Brute.safe_by_extensions sys) in
   pf "exhaustive Lemma-1 check: %s (%.1f ms)\n"
-    (match verdict with Brute.Safe -> "SAFE" | Brute.Unsafe _ -> "UNSAFE")
+    (match verdict with
+    | Brute.Safe -> "SAFE"
+    | Brute.Unsafe _ -> "UNSAFE"
+    | Brute.Exhausted _ -> "(budget)")
     (ms t)
 
 (* ------------------------------------------------------------------ *)
@@ -299,7 +300,7 @@ let e7 () =
           match Brute.safe_by_schedules ~limit:3_000_000 sys with
           | Brute.Safe -> "SAFE"
           | Brute.Unsafe _ -> "UNSAFE"
-          | exception Failure _ -> "(budget)"
+          | Brute.Exhausted _ -> "(budget)"
         else "(skipped)"
       in
       pf "%6d %8d %10s %10.1f ms %10s\n" k cycles
@@ -419,7 +420,7 @@ let e9 () =
           incr not_sc;
           match Brute.safe_by_extensions sys with
           | Brute.Safe -> incr gap
-          | Brute.Unsafe _ -> ()
+          | Brute.Unsafe _ | Brute.Exhausted _ -> ()
         end
       done;
       let note =
@@ -430,7 +431,9 @@ let e9 () =
   let sys = Figures.fig5 () in
   pf "Fig 5 exhibit (4 sites): not-SC = %b, safe = %b\n"
     (not (Theorem1.guarantees_safe sys))
-    (Brute.safe_by_extensions sys = Brute.Safe);
+    (match Brute.safe_by_extensions sys with
+    | Brute.Safe -> true
+    | Brute.Unsafe _ | Brute.Exhausted _ -> false);
   (* The paper leaves three sites open: hunt for a 3-site gap instance. *)
   pf "\nopen-problem probe: searching for a 3-site not-SC-yet-safe system...\n";
   let rng = Random.State.make [| 2718 |] in
@@ -449,7 +452,7 @@ let e9 () =
           incr unclosed;
           match Brute.safe_by_extensions ~limit:500_000 sys with
           | Brute.Safe -> incr gap
-          | Brute.Unsafe _ | (exception Failure _) -> ()
+          | Brute.Unsafe _ | Brute.Exhausted _ -> ()
         end
       end
     end
@@ -738,6 +741,112 @@ let e15 () =
     (Domain.recommended_domain_count ())
 
 (* ------------------------------------------------------------------ *)
+(* E16: the memoized state-graph oracle vs factorial schedule
+   enumeration. Same flavour of corpus as E15 — partial orders, several
+   shared entities, multiple sites — so the schedule tree has genuine
+   interleaving freedom for the state graph to collapse. *)
+
+let e16 () =
+  rule "E16 (stategraph): bitset state graph vs factorial schedule tree";
+  let module S = Distlock_sched in
+  let module E = Distlock_engine in
+  let rng = Random.State.make [| 16 |] in
+  let cap = 500_000 in
+  let corpus =
+    List.init 40 (fun i ->
+        Txn_gen.random_pair_system rng
+          ~num_shared:(3 + (i mod 3))
+          ~num_private:(i mod 2)
+          ~num_sites:(2 + (i mod 3))
+          ~cross_prob:(0.3 +. (0.15 *. float_of_int (i mod 4)))
+          ())
+    @ List.init 10 (fun i ->
+          Txn_gen.random_multi_system rng ~num_txns:3
+            ~num_entities:(5 + (i mod 2)) ~entities_per_txn:2 ~num_sites:2
+            ~cross_prob:0.5 ())
+  in
+  let n = List.length corpus in
+  param_i "corpus_systems" n;
+  param_i "count_cap" cap;
+  let median = function
+    | [] -> 0.
+    | xs ->
+        let a = List.sort compare xs in
+        List.nth a (List.length a / 2)
+  in
+  pf "%4s %8s %12s %10s %11s %11s %s\n" "sys" "states" "schedules"
+    "dup hits" "t_states" "t_sched" "verdict";
+  let all_fewer = ref true in
+  let total_states = ref 0 and total_dups = ref 0 in
+  let speedups = ref [] in
+  List.iteri
+    (fun i sys ->
+      let (outcome, st), t_census =
+        time (fun () -> S.Stategraph.census ~limit:cap sys)
+      in
+      let sched, t_count =
+        time (fun () -> S.Enumerate.count_legal ~limit:cap sys)
+      in
+      total_states := !total_states + st.S.Stategraph.states;
+      total_dups := !total_dups + st.S.Stategraph.dup_hits;
+      let sched_str, fewer, exact_count =
+        match sched with
+        | S.Enumerate.Exact m ->
+            (string_of_int m, st.S.Stategraph.states < m, Some m)
+        | S.Enumerate.Exhausted m ->
+            (Printf.sprintf ">%d" m, st.S.Stategraph.states < m, None)
+      in
+      if not fewer then all_fewer := false;
+      let verdict =
+        match outcome with
+        | S.Stategraph.Safe -> "safe"
+        | S.Stategraph.Unsafe _ -> "unsafe"
+        | S.Stategraph.Exhausted _ -> "(budget)"
+      in
+      (* Race the two oracles on the decision itself wherever the
+         schedule oracle can finish exhaustively and has real work to
+         do; a SAFE verdict forces both to cover their whole space. *)
+      (match (outcome, exact_count) with
+      | S.Stategraph.Safe, Some m when m >= 1_000 ->
+          let _, t_states = time (fun () -> Brute.safe_by_states sys) in
+          let _, t_sched = time (fun () -> Brute.safe_by_schedules sys) in
+          speedups := (t_sched /. Float.max t_states 1e-9) :: !speedups
+      | _ -> ());
+      pf "%4d %8d %12s %10d %8.2f ms %8.2f ms %s\n" i st.S.Stategraph.states
+        sched_str st.S.Stategraph.dup_hits (ms t_census) (ms t_count) verdict)
+    corpus;
+  let med = median !speedups in
+  pf "states < schedules on every system: %b\n" !all_fewer;
+  pf "decision speedup (exhaustive SAFE subset, %d systems): median %.1fx\n"
+    (List.length !speedups) med;
+  metric_b "states_fewer_on_every_system" !all_fewer;
+  metric_i "total_states" !total_states;
+  metric_i "total_duplicate_hits" !total_dups;
+  metric_i "speedup_subset_systems" (List.length !speedups);
+  metric_f "median_decide_speedup" med;
+  (* The engine path: the State_graph stage rides the same batch fan-out
+     as E15; jobs:1 and jobs:4 must agree decision for decision. *)
+  let run jobs =
+    let eng = Decision.create ~cache_capacity:0 () in
+    time (fun () -> Decision.decide_batch ~jobs eng corpus)
+  in
+  let (out1, _), t1 = run 1 in
+  let (out4, _), t4 = run 4 in
+  let agree =
+    List.for_all2
+      (fun (a : _ E.Outcome.t) (b : _ E.Outcome.t) ->
+        E.Outcome.decided a = E.Outcome.decided b
+        && a.E.Outcome.procedure = b.E.Outcome.procedure)
+      out1 out4
+  in
+  pf "engine batch: jobs:1 %.2f ms, jobs:4 %.2f ms, verdicts %s\n" (ms t1)
+    (ms t4)
+    (if agree then "agree" else "DISAGREE");
+  metric_f "jobs1_seconds" t1;
+  metric_f "jobs4_seconds" t4;
+  metric_b "jobs_verdicts_agree" agree
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks *)
 
 let bechamel_benches () =
@@ -834,7 +943,7 @@ let experiments =
   [ ("E1", e1); ("E2", e2); ("E2b", e2b); ("E3", e3); ("E4", e4);
     ("E5", e5); ("E6", e6); ("E7", e7); ("E8", e8); ("E8b", e8b);
     ("E8c", e8c); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
-    ("E13", e13); ("E14", e14); ("E15", e15) ]
+    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16) ]
 
 let usage () =
   prerr_endline
@@ -904,7 +1013,7 @@ let () =
          (J.Obj
             [
               ("harness", J.Str "distlock-bench");
-              ("version", J.Str "1.3.0");
+              ("version", J.Str "1.4.0");
               ("experiments", J.List records);
             ]));
     output_char oc '\n';

@@ -235,8 +235,37 @@ let json_flag =
           "Emit the verdict, deciding procedure, stage trace, and \
            timings as JSON instead of pretty text")
 
+(* Bypass the staged engine and decide with one exhaustive oracle.
+   Exit status mirrors `check`: 0 safe, 1 unsafe, 3 budget exhausted. *)
+let run_oracle sys which =
+  let name, verdict =
+    match which with
+    | `States -> ("state-graph", Brute.safe_by_states sys)
+    | `Schedules -> ("schedule-enumeration", Brute.safe_by_schedules sys)
+    | `Extensions ->
+        if System.num_txns sys <> 2 then begin
+          Printf.eprintf
+            "error: --oracle extensions needs a two-transaction system\n";
+          exit 2
+        end;
+        ("extension-pair", Brute.safe_by_extensions sys)
+  in
+  match verdict with
+  | Brute.Safe ->
+      Printf.printf "SAFE — exhaustive %s oracle\n" name;
+      0
+  | Brute.Unsafe h ->
+      Printf.printf "UNSAFE — exhaustive %s oracle\n" name;
+      Printf.printf "non-serializable schedule:\n  %s\n"
+        (Distlock_sched.Schedule.to_string sys h);
+      1
+  | Brute.Exhausted { examined; limit } ->
+      Printf.printf "UNKNOWN — %s oracle exhausted its budget (%d of %d)\n"
+        name examined limit;
+      3
+
 let check_cmd =
-  let run () file stats json =
+  let run () file oracle stats json =
     let sys = load_system file in
     (match System.validate sys with
     | [] -> ()
@@ -246,16 +275,35 @@ let check_cmd =
             Printf.eprintf "warning: %s: %s\n" (Txn.name t)
               (Validate.to_string (System.db sys) t v))
           vs);
-    if json then begin
-      let o = Decision.decide (Lazy.force engine) sys in
-      print_endline (J.to_string_pretty (json_of_outcome ~file sys o));
-      exit (exit_code o)
-    end
-    else exit (print_verdict ~stats sys)
+    match oracle with
+    | Some which -> exit (run_oracle sys which)
+    | None ->
+        if json then begin
+          let o = Decision.decide (Lazy.force engine) sys in
+          print_endline (J.to_string_pretty (json_of_outcome ~file sys o));
+          exit (exit_code o)
+        end
+        else exit (print_verdict ~stats sys)
+  in
+  let oracle =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("states", `States); ("schedules", `Schedules);
+                  ("extensions", `Extensions) ]))
+          None
+      & info [ "oracle" ] ~docv:"ORACLE"
+          ~doc:
+            "Bypass the staged engine and decide with one exhaustive \
+             oracle: $(b,states) (memoized state graph), $(b,schedules) \
+             (legal-schedule enumeration), or $(b,extensions) (Lemma 1 \
+             over all extension pairs; two-transaction systems only)")
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Decide safety of a locked transaction system")
-    Term.(const run $ obs_setup $ file_arg $ stats_flag $ json_flag)
+    Term.(const run $ obs_setup $ file_arg $ oracle $ stats_flag $ json_flag)
 
 let batch_cmd =
   let run () files repeat no_cache budget jobs stats json =
@@ -462,8 +510,8 @@ let deadlock_cmd =
     let sys = load_system file in
     let t1, t2 = System.pair sys in
     if not (Txn.is_total t1 && Txn.is_total t2) then begin
-      (* partial orders: state exploration *)
-      let d = Distlock_sched.Enumerate.has_deadlock sys in
+      (* partial orders: memoized state-graph exploration *)
+      let d = Distlock_sched.Stategraph.has_deadlock sys in
       Printf.printf "deadlock reachable (state exploration): %b\n" d;
       exit (if d then 1 else 0)
     end;
@@ -605,7 +653,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default
-          (Cmd.info "distlock" ~version:"1.3.0"
+          (Cmd.info "distlock" ~version:"1.4.0"
              ~doc:"Safety of distributed locked transactions (Kanellakis & \
                    Papadimitriou 1982)")
           [ advise_cmd; batch_cmd; check_cmd; analyze_cmd; dgraph_cmd;

@@ -29,6 +29,8 @@ let cross_check sys =
   match Brute.safe_by_extensions sys with
   | Brute.Safe -> Printf.printf "oracle (Lemma 1 over all pictures): SAFE\n"
   | Brute.Unsafe _ -> Printf.printf "oracle (Lemma 1 over all pictures): UNSAFE\n"
+  | Brute.Exhausted _ ->
+      Printf.printf "oracle (Lemma 1 over all pictures): budget exhausted\n"
 
 let () =
   rule "Fig 1: an unsafe two-site system";

@@ -58,7 +58,7 @@ let report label sys =
   | Brute.Unsafe h ->
       Printf.printf "oracle: UNSAFE, e.g.\n  %s\n"
         (Distlock_sched.Schedule.to_string sys h)
-  | exception Failure _ -> Printf.printf "oracle: (too many schedules)\n");
+  | Brute.Exhausted _ -> Printf.printf "oracle: (too many schedules)\n");
   let rate = Distlock_sim.Engine.violation_rate sys in
   Printf.printf "simulator: %.0f%% non-serializable histories\n" (100. *. rate)
 

@@ -2,7 +2,10 @@ open Distlock_txn
 open Distlock_sched
 open Distlock_geometry
 
-type verdict = Safe | Unsafe of Schedule.t
+type verdict =
+  | Safe
+  | Unsafe of Schedule.t
+  | Exhausted of { examined : int; limit : int }
 
 (* Progress counters for the exhaustive oracles, so a long run is
    legible from the outside ([--metrics] snapshots show the census
@@ -21,18 +24,21 @@ let m_pictures () =
     ~help:"Extension-pair pictures examined by the Lemma 1 oracle"
     "distlock_brute_pictures_examined_total"
 
+exception Out_of_budget
+
 let safe_by_schedules ?(limit = 20_000_000) sys =
   let examined = ref 0 in
   let progress = m_schedules () in
   match
     Enumerate.find_legal sys (fun h ->
+        if !examined >= limit then raise Out_of_budget;
         incr examined;
         Distlock_obs.Metric.incr progress;
-        if !examined > limit then failwith "Brute.safe_by_schedules: limit exceeded";
         not (Conflict.is_serializable sys h))
   with
   | Some h -> Unsafe h
   | None -> Safe
+  | exception Out_of_budget -> Exhausted { examined = !examined; limit }
 
 exception Found of Schedule.t
 
@@ -44,18 +50,33 @@ let safe_by_extensions ?(limit = 50_000_000) sys =
     Distlock_order.Linext.iter (Txn.order t1) (fun ext1 ->
         let ext1 = Array.copy ext1 in
         Distlock_order.Linext.iter (Txn.order t2) (fun ext2 ->
+            if !examined >= limit then raise Out_of_budget;
             incr examined;
             Distlock_obs.Metric.incr progress;
-            if !examined > limit then
-              failwith "Brute.safe_by_extensions: limit exceeded";
             let plane = Plane.of_extensions sys ext1 (Array.copy ext2) in
             match Separation.decide plane with
             | Separation.Safe -> ()
             | Separation.Unsafe { schedule; _ } -> raise (Found schedule)));
     Safe
-  with Found h -> Unsafe h
+  with
+  | Found h -> Unsafe h
+  | Out_of_budget -> Exhausted { examined = !examined; limit }
 
-let is_safe sys = safe_by_schedules sys = Safe
+let safe_by_states ?(limit = 10_000_000) sys =
+  match Stategraph.decide ~limit sys with
+  | Stategraph.Safe, _ -> Safe
+  | Stategraph.Unsafe h, _ -> Unsafe h
+  | Stategraph.Exhausted { visited; limit }, _ ->
+      Exhausted { examined = visited; limit }
+
+let is_safe sys =
+  match safe_by_states sys with
+  | Safe -> true
+  | Unsafe _ -> false
+  | Exhausted { examined; _ } ->
+      failwith
+        (Printf.sprintf "Brute.is_safe: state budget exhausted after %d states"
+           examined)
 
 let probe_random rng ~trials sys =
   let rec go k =

@@ -80,6 +80,26 @@ let corollary2 =
       | None -> E.Checker.Pass "no dominator of D(T1,T2) closes"
       | exception Failure msg -> E.Checker.Error msg)
 
+let state_graph =
+  E.Checker.make ~name:"state-graph" ~procedure:E.Checker.State_graph
+    ~cost:E.Checker.Exponential ~applicable:is_pair
+    ~run:(fun meter sys ->
+      let limit = E.Budget.step_allowance meter ~default:2_000_000 in
+      match Brute.safe_by_states ~limit sys with
+      | Brute.Safe ->
+          E.Checker.Safe
+            "state graph: no reachable execution is non-serializable"
+      | Brute.Unsafe h ->
+          E.Checker.Unsafe
+            ( "state graph: a reachable complete state has a cyclic \
+               conflict digraph",
+              Counterexample h )
+      | Brute.Exhausted { examined; limit } ->
+          E.Checker.Pass
+            (Printf.sprintf
+               "state budget exhausted after %d of %d allowed states"
+               examined limit))
+
 let lemma1 =
   E.Checker.make ~name:"exhaustive" ~procedure:E.Checker.Lemma_1
     ~cost:E.Checker.Exponential ~applicable:is_pair
@@ -92,7 +112,12 @@ let lemma1 =
           E.Checker.Unsafe
             ( "Lemma 1: some picture admits a separating curve",
               Counterexample h )
-      | exception Failure msg -> E.Checker.Error msg)
+      | Brute.Exhausted { examined; limit } ->
+          E.Checker.Pass
+            (Printf.sprintf
+               "picture budget exhausted after %d of %d allowed extension \
+                pairs"
+               examined limit))
 
 let pair_checkers =
-  [ trivial; theorem1; twosite; proposition1; corollary2; lemma1 ]
+  [ trivial; theorem1; twosite; proposition1; corollary2; state_graph; lemma1 ]

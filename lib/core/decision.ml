@@ -20,11 +20,36 @@ let proposition2 =
             ("Proposition 2: unsafety witness found", Multi reason)
       | exception Failure msg -> E.Checker.Error msg)
 
+(* Exact fallback for many-transaction systems (the two-transaction
+   table carries its own state-graph stage): memoized reachability over
+   execution states, so a Proposition 2 budget error still gets a real
+   verdict when the state graph fits the step allowance. *)
+let state_graph_multi =
+  E.Checker.make ~name:"multi-state-graph" ~procedure:E.Checker.State_graph
+    ~cost:E.Checker.Exponential
+    ~applicable:(fun sys -> System.num_txns sys <> 2)
+    ~run:(fun meter sys ->
+      let limit = E.Budget.step_allowance meter ~default:2_000_000 in
+      match Brute.safe_by_states ~limit sys with
+      | Brute.Safe ->
+          E.Checker.Safe
+            "state graph: no reachable execution is non-serializable"
+      | Brute.Unsafe h ->
+          E.Checker.Unsafe
+            ( "state graph: a reachable complete state has a cyclic \
+               conflict digraph",
+              Pair (Checkers.Counterexample h) )
+      | Brute.Exhausted { examined; limit } ->
+          E.Checker.Pass
+            (Printf.sprintf
+               "state budget exhausted after %d of %d allowed states"
+               examined limit))
+
 let checkers =
   List.map
     (E.Checker.map_evidence (fun ev -> Pair ev))
     Checkers.pair_checkers
-  @ [ proposition2 ]
+  @ [ proposition2; state_graph_multi ]
 
 type t = (System.t, evidence) E.Engine.t
 

@@ -5,11 +5,13 @@ let lemma1 ?(limit = 1_000_000) sys =
     match Brute.safe_by_schedules ~limit sys with
     | Brute.Safe -> true
     | Brute.Unsafe _ -> false
+    | Brute.Exhausted _ -> failwith "Lemmas.lemma1: schedule budget exhausted"
   in
   let right =
     match Brute.safe_by_extensions ~limit sys with
     | Brute.Safe -> true
     | Brute.Unsafe _ -> false
+    | Brute.Exhausted _ -> failwith "Lemmas.lemma1: picture budget exhausted"
   in
   left = right
 

@@ -5,6 +5,7 @@ type procedure =
   | Proposition_1
   | Corollary_2
   | Lemma_1
+  | State_graph
   | Proposition_2
   | Custom of string
 
@@ -15,6 +16,7 @@ let procedure_label = function
   | Proposition_1 -> "Prop 1"
   | Corollary_2 -> "Cor 2"
   | Lemma_1 -> "Lemma 1"
+  | State_graph -> "States"
   | Proposition_2 -> "Prop 2"
   | Custom s -> s
 

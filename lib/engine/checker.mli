@@ -20,6 +20,9 @@ type procedure =
   | Proposition_1  (** The geometric separation test on total orders. *)
   | Corollary_2  (** The dominator-closure sweep, any number of sites. *)
   | Lemma_1  (** Exhaustive check of all extension pairs. *)
+  | State_graph
+      (** Memoized reachability over bitset-packed execution states — an
+          exact oracle exponentially cheaper than schedule enumeration. *)
   | Proposition_2  (** The many-transaction criterion ([G], [B_c] cycles). *)
   | Custom of string  (** Extension point for non-paper procedures. *)
 

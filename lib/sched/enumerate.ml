@@ -2,7 +2,11 @@ open Distlock_txn
 
 exception Stop
 
-(* Shared stepping machinery: a mutable execution state over the system. *)
+(* Shared stepping machinery: a mutable execution state over the system.
+   Alongside the indegree/lock bookkeeping it maintains the set of
+   currently enabled steps (as flat step ids with positions, swap-remove
+   on disable), updated in O(affected steps) by [apply]/[undo] — so
+   random walks pick a step in O(1) instead of rescanning every step. *)
 type state = {
   sys : System.t;
   indeg : int array array; (* remaining unexecuted predecessors per step *)
@@ -11,7 +15,43 @@ type state = {
   mutable executed : int;
   total : int;
   trace : Schedule.event array;
+  flat_base : int array; (* txn -> first flat id of its steps *)
+  flat_txn : int array; (* flat id -> txn *)
+  flat_step : int array; (* flat id -> step *)
+  lockers : (int * int) list array; (* entity -> its Lock steps *)
+  enab_list : int array; (* enabled flat ids, first [enab_n] entries *)
+  enab_pos : int array; (* flat id -> index in enab_list, or -1 *)
+  mutable enab_n : int;
 }
+
+let enabled st i s =
+  (not st.done_.(i).(s))
+  && st.indeg.(i).(s) = 0
+  &&
+  let step = Txn.step (System.txn st.sys i) s in
+  match step.Step.action with
+  | Step.Lock -> not (Hashtbl.mem st.holder step.Step.entity)
+  | Step.Unlock | Step.Update -> true
+
+(* Reconciles one step's membership in the enabled set with [enabled]. *)
+let sync st i s =
+  let fid = st.flat_base.(i) + s in
+  let now = enabled st i s in
+  let was = st.enab_pos.(fid) >= 0 in
+  if now && not was then begin
+    st.enab_list.(st.enab_n) <- fid;
+    st.enab_pos.(fid) <- st.enab_n;
+    st.enab_n <- st.enab_n + 1
+  end
+  else if was && not now then begin
+    let p = st.enab_pos.(fid) in
+    let last = st.enab_n - 1 in
+    let moved = st.enab_list.(last) in
+    st.enab_list.(p) <- moved;
+    st.enab_pos.(moved) <- p;
+    st.enab_n <- last;
+    st.enab_pos.(fid) <- -1
+  end
 
 let init sys =
   let n = System.num_txns sys in
@@ -30,24 +70,61 @@ let init sys =
     Array.init n (fun i -> Array.make (Txn.num_steps (System.txn sys i)) false)
   in
   let total = System.total_steps sys in
-  {
-    sys;
-    indeg;
-    done_;
-    holder = Hashtbl.create 16;
-    executed = 0;
-    total;
-    trace = Array.make total (-1, -1);
-  }
+  let flat_base = Array.make n 0 in
+  let flat_txn = Array.make total 0 and flat_step = Array.make total 0 in
+  let lockers = Array.make (Database.num_entities (System.db sys)) [] in
+  let fid = ref 0 in
+  for i = 0 to n - 1 do
+    let txn = System.txn sys i in
+    flat_base.(i) <- !fid;
+    for s = 0 to Txn.num_steps txn - 1 do
+      flat_txn.(!fid) <- i;
+      flat_step.(!fid) <- s;
+      incr fid;
+      let step = Txn.step txn s in
+      match step.Step.action with
+      | Step.Lock -> lockers.(step.Step.entity) <- (i, s) :: lockers.(step.Step.entity)
+      | Step.Unlock | Step.Update -> ()
+    done
+  done;
+  let st =
+    {
+      sys;
+      indeg;
+      done_;
+      holder = Hashtbl.create 16;
+      executed = 0;
+      total;
+      trace = Array.make total (-1, -1);
+      flat_base;
+      flat_txn;
+      flat_step;
+      lockers;
+      enab_list = Array.make total 0;
+      enab_pos = Array.make total (-1);
+      enab_n = 0;
+    }
+  in
+  for i = 0 to n - 1 do
+    for s = 0 to Txn.num_steps (System.txn sys i) - 1 do
+      sync st i s
+    done
+  done;
+  st
 
-let enabled st i s =
-  (not st.done_.(i).(s))
-  && st.indeg.(i).(s) = 0
-  &&
-  let step = Txn.step (System.txn st.sys i) s in
+(* Applying or undoing (i,s) can change enabledness only of (i,s)
+   itself, of s's successors within the transaction, and — for lock
+   steps' entity — of the Lock steps on that entity. *)
+let sync_affected st i s (step : Step.t) =
+  let txn = System.txn st.sys i in
+  sync st i s;
+  for q = 0 to Txn.num_steps txn - 1 do
+    if Txn.precedes txn s q then sync st i q
+  done;
   match step.Step.action with
-  | Step.Lock -> not (Hashtbl.mem st.holder step.Step.entity)
-  | Step.Unlock | Step.Update -> true
+  | Step.Lock | Step.Unlock ->
+      List.iter (fun (j, t) -> sync st j t) st.lockers.(step.Step.entity)
+  | Step.Update -> ()
 
 let apply st i s =
   let txn = System.txn st.sys i in
@@ -61,7 +138,8 @@ let apply st i s =
   (match step.Step.action with
   | Step.Lock -> Hashtbl.replace st.holder step.Step.entity i
   | Step.Unlock -> Hashtbl.remove st.holder step.Step.entity
-  | Step.Update -> ())
+  | Step.Update -> ());
+  sync_affected st i s step
 
 let undo st i s =
   let txn = System.txn st.sys i in
@@ -74,7 +152,8 @@ let undo st i s =
   (match step.Step.action with
   | Step.Lock -> Hashtbl.remove st.holder step.Step.entity
   | Step.Unlock -> Hashtbl.replace st.holder step.Step.entity i
-  | Step.Update -> ())
+  | Step.Update -> ());
+  sync_affected st i s step
 
 let snapshot st = Schedule.of_events (Array.to_list st.trace)
 
@@ -127,32 +206,28 @@ let find_legal sys pred =
    with Stop -> ());
   !found
 
+type count = Exact of int | Exhausted of int
+
 let count_legal ?(limit = 10_000_000) sys =
   let c = ref 0 in
-  iter_legal sys (fun _ ->
-      incr c;
-      if !c > limit then failwith "Enumerate.count_legal: limit exceeded");
-  !c
+  match
+    iter_legal sys (fun _ ->
+        incr c;
+        if !c > limit then raise Stop)
+  with
+  | () -> Exact !c
+  | exception Stop -> Exhausted limit
 
 let random_legal rng ?(max_attempts = 100) sys =
-  let n = System.num_txns sys in
   let attempt () =
     let st = init sys in
     let ok = ref true in
     while !ok && st.executed < st.total do
-      let avail = ref [] in
-      for i = 0 to n - 1 do
-        let k = Txn.num_steps (System.txn sys i) in
-        for s = 0 to k - 1 do
-          if enabled st i s then avail := (i, s) :: !avail
-        done
-      done;
-      match !avail with
-      | [] -> ok := false (* deadlock *)
-      | choices ->
-          let arr = Array.of_list choices in
-          let i, s = arr.(Random.State.int rng (Array.length arr)) in
-          apply st i s
+      if st.enab_n = 0 then ok := false (* deadlock *)
+      else begin
+        let fid = st.enab_list.(Random.State.int rng st.enab_n) in
+        apply st st.flat_txn.(fid) st.flat_step.(fid)
+      end
     done;
     if !ok then Some (snapshot st) else None
   in
@@ -163,26 +238,21 @@ let random_legal rng ?(max_attempts = 100) sys =
 
 let has_deadlock sys =
   let st = init sys in
-  let n = System.num_txns sys in
-  let found = ref false in
   let rec go () =
-    if not !found then
-      if st.executed = st.total then ()
-      else begin
-        let any = ref false in
-        for i = 0 to n - 1 do
-          let k = Txn.num_steps (System.txn sys i) in
-          for s = 0 to k - 1 do
-            if enabled st i s then begin
-              any := true;
-              apply st i s;
-              go ();
-              undo st i s
-            end
-          done
-        done;
-        if not !any then found := true
-      end
+    if st.executed < st.total then begin
+      if st.enab_n = 0 then raise Stop;
+      (* snapshot the frontier: apply/undo mutate the enabled set *)
+      let frontier = Array.sub st.enab_list 0 st.enab_n in
+      Array.iter
+        (fun fid ->
+          let i = st.flat_txn.(fid) and s = st.flat_step.(fid) in
+          apply st i s;
+          go ();
+          undo st i s)
+        frontier
+    end
   in
-  go ();
-  !found
+  try
+    go ();
+    false
+  with Stop -> true

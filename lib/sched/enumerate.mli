@@ -16,15 +16,24 @@ val exists_legal : System.t -> (Schedule.t -> bool) -> bool
 
 val find_legal : System.t -> (Schedule.t -> bool) -> Schedule.t option
 
-val count_legal : ?limit:int -> System.t -> int
-(** Raises [Failure] past [limit] (default [10_000_000]). *)
+type count =
+  | Exact of int  (** The space was exhausted; this is the true count. *)
+  | Exhausted of int
+      (** More than [limit] legal schedules exist; counting stopped. *)
+
+val count_legal : ?limit:int -> System.t -> count
+(** Counts complete legal schedules, giving up past [limit] (default
+    [10_000_000]) with a typed {!Exhausted} instead of an exception. *)
 
 val random_legal :
   Random.State.t -> ?max_attempts:int -> System.t -> Schedule.t option
 (** A random complete legal schedule via uniform random choice among
-    enabled steps, restarting on deadlock (up to [max_attempts], default
-    [100]). [None] if every attempt deadlocked. *)
+    enabled steps (an incrementally maintained set — O(1) per pick),
+    restarting on deadlock (up to [max_attempts], default [100]).
+    [None] if every attempt deadlocked. *)
 
 val has_deadlock : System.t -> bool
 (** Is some legal *prefix* extendable to no complete schedule — i.e., can
-    the system reach a locking deadlock? (Exhaustive; small systems.) *)
+    the system reach a locking deadlock? Exhaustive over prefixes (small
+    systems; see {!Stategraph.has_deadlock} for the memoized search) and
+    terminates at the first deadlocked prefix. *)

@@ -1,0 +1,58 @@
+open Distlock_txn
+
+(** Memoized state-graph safety oracle.
+
+    {!Enumerate} decides safety by walking complete legal schedules —
+    factorially many of them. But safety in the paper's model depends
+    only on which *execution states* are reachable: a state is the pair
+    (per-transaction done-bitmask, conflict-direction summary over
+    ordered transaction pairs). Everything dynamic — enabled steps, lock
+    holders, which conflict edges a future step will add — is a function
+    of that pair, so schedules reaching the same state are
+    interchangeable and the search collapses to a DFS over distinct
+    states pruned by a visited table.
+
+    States are packed into immutable [int array] keys: first the done
+    bitmasks (one bit per step, 63 bits per word), then — word-aligned —
+    the [n*n] conflict-edge bits. Lock holders are derivable from the
+    done masks (an entity is held by the transaction that has executed
+    its lock but not its unlock), so they stay out of the key.
+
+    The system is unsafe iff some reachable complete state's conflict
+    digraph is cyclic; the witness schedule is rebuilt from parent
+    pointers recorded at first discovery, so the oracle meets
+    [Brute.verdict]'s [Unsafe of Schedule.t] contract. A reachable
+    non-final state with no enabled step is exactly a locking deadlock,
+    so {!has_deadlock} falls out of the same search (memoized on the
+    done masks alone — deadlock dynamics ignore conflict history). *)
+
+type outcome =
+  | Safe
+  | Unsafe of Schedule.t  (** A legal non-serializable schedule. *)
+  | Exhausted of { visited : int; limit : int }
+      (** The visited-state budget ran out before the graph was covered. *)
+
+(** Collapse statistics of one search, for E16 and the [--stats] path. *)
+type stats = {
+  states : int;  (** Distinct states visited (visited-table insertions). *)
+  dup_hits : int;  (** Transitions pruned because the target was known. *)
+  complete : int;  (** Distinct complete (all-steps-done) states. *)
+  deadlocked : int;  (** Distinct non-final states with no enabled step. *)
+}
+
+val decide : ?limit:int -> System.t -> outcome * stats
+(** Safety by state-graph reachability, returning at the first complete
+    state with a cyclic conflict digraph. [limit] (default [10_000_000])
+    bounds distinct states visited; past it the outcome is
+    {!Exhausted}, never an exception. *)
+
+val census : ?limit:int -> System.t -> outcome * stats
+(** Like {!decide} but explores the whole reachable graph even after an
+    unsafe state is found, so [stats] describes the full state graph
+    (used by bench E16 to compare against the schedule census). *)
+
+val has_deadlock : System.t -> bool
+(** Can the system reach a locking deadlock? Same search keyed on the
+    done masks only, with an early exit at the first deadlocked state.
+    Exhaustive but memoized: the mask graph is exponentially smaller
+    than the schedule tree. *)

@@ -118,6 +118,8 @@ def check_bench(path):
              f"experiments[{i}]")
         if e["id"] == "E15":
             check_e15(e)
+        if e["id"] == "E16":
+            check_e16(e)
 
 
 def check_e15(e):
@@ -138,6 +140,32 @@ def check_e15(e):
     need(m, ["speedup_jobs4"], "E15.metrics")
     if m["speedup_jobs4"] <= 0:
         die("E15: speedup_jobs4 not positive")
+
+
+def check_e16(e):
+    """The state-graph-oracle artifact: the memoized state graph must be
+    strictly smaller than the schedule tree on every corpus system, win
+    the wall-clock race by at least 10x where schedule enumeration is
+    feasible, and agree with itself across the batch domain pool."""
+    m = e["metrics"]
+    need(e["params"], ["corpus_systems", "count_cap"], "E16.params")
+    if e["params"]["corpus_systems"] < 40:
+        die(f"E16: corpus too small ({e['params']['corpus_systems']} < 40)")
+    need(m, ["states_fewer_on_every_system", "total_states",
+             "total_duplicate_hits", "speedup_subset_systems",
+             "median_decide_speedup", "jobs1_seconds", "jobs4_seconds",
+             "jobs_verdicts_agree"], "E16.metrics")
+    if m["states_fewer_on_every_system"] is not True:
+        die("E16: some system visited at least as many states as schedules")
+    if m["total_states"] <= 0:
+        die("E16: no states visited")
+    if m["speedup_subset_systems"] < 1:
+        die("E16: empty exhaustive-oracle speedup subset")
+    if m["median_decide_speedup"] < 10:
+        die(f"E16: median decision speedup {m['median_decide_speedup']:.1f}x "
+            "below the 10x bar")
+    if m["jobs_verdicts_agree"] is not True:
+        die("E16: jobs:1 and jobs:4 verdicts disagree")
 
 
 def main():

@@ -14,6 +14,24 @@ A two-phase pair is safe (exit 0):
   $ ../../bin/distlock_cli.exe check safe.txt
   SAFE — Theorem 1: D(T1,T2) strongly connected
 
+--oracle bypasses the staged engine and decides with one exhaustive
+oracle; all three agree with the pipeline:
+
+  $ ../../bin/distlock_cli.exe check --oracle states safe.txt
+  SAFE — exhaustive state-graph oracle
+
+  $ ../../bin/distlock_cli.exe check --oracle schedules safe.txt
+  SAFE — exhaustive schedule-enumeration oracle
+
+  $ ../../bin/distlock_cli.exe check --oracle extensions safe.txt
+  SAFE — exhaustive extension-pair oracle
+
+  $ ../../bin/distlock_cli.exe check --oracle states unsafe.txt
+  UNSAFE — exhaustive state-graph oracle
+  non-serializable schedule:
+    Lx_1 Ux_1 Lx_2 Ux_2 Lz_2 Uz_2 Lz_1 Uz_1
+  [1]
+
 The D-graph can be inspected directly:
 
   $ ../../bin/distlock_cli.exe dgraph safe.txt

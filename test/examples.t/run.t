@@ -12,7 +12,7 @@ Every example runs to completion and reaches its headline conclusions.
   oracle (Lemma 1 over all pictures): UNSAFE
   verdict: UNSAFE
   pictures: 169 safe, 56 unsafe — safety is a property of ALL pictures
-  verdict: SAFE — Lemma 1: exhaustive check of all extension pairs
+  verdict: SAFE — state graph: no reachable execution is non-serializable
   oracle (Lemma 1 over all pictures): SAFE
 
   $ ../../examples/banking.exe | grep -E "^(Theorem 2|simulator)"

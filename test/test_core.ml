@@ -94,7 +94,7 @@ let test_fig5_gap () =
       | Closure.Failed _ -> ())
     (Dgraph.dominators d);
   (* and the system is genuinely safe (Lemma 1 oracle) *)
-  Util.check "safe by oracle" true (Brute.safe_by_extensions sys = Brute.Safe)
+  Util.check "safe by oracle" true (Util.brute_safe (Brute.safe_by_extensions sys))
 
 (* ------------------------------------------------------------------ *)
 (* Theorem 1 *)
@@ -108,7 +108,7 @@ let qcheck_theorem1_sound =
            ~cross_prob:(Random.State.float st 1.0) ()))
     (fun sys ->
       (not (Theorem1.guarantees_safe sys))
-      || Brute.safe_by_extensions sys = Brute.Safe)
+      || Util.brute_safe (Brute.safe_by_extensions sys))
 
 (* ------------------------------------------------------------------ *)
 (* Theorem 2 *)
@@ -121,7 +121,7 @@ let qcheck_theorem2_exact =
            ~cross_prob:(Random.State.float st 1.0) ()))
     (fun sys ->
       let fast = Twosite.is_safe sys in
-      let oracle = Brute.safe_by_extensions sys = Brute.Safe in
+      let oracle = Util.brute_safe (Brute.safe_by_extensions sys) in
       fast = oracle)
 
 let qcheck_theorem2_vs_schedule_oracle =
@@ -130,7 +130,7 @@ let qcheck_theorem2_vs_schedule_oracle =
          Txn_gen.random_pair_system st ~num_shared:2 ~num_private:0
            ~num_sites:2 ~cross_prob:(Random.State.float st 1.0) ()))
     (fun sys ->
-      Twosite.is_safe sys = (Brute.safe_by_schedules sys = Brute.Safe))
+      Twosite.is_safe sys = (Util.brute_safe (Brute.safe_by_schedules sys)))
 
 let qcheck_certificates_verified =
   Util.qtest ~count:120 "unsafe verdicts carry verified certificates"
@@ -163,7 +163,7 @@ let test_single_common_entity_safe () =
   let t2 = Builder.locked_sequence db ~name:"T2" [ "x"; "q" ] in
   let sys = System.make db [ t1; t2 ] in
   Util.check "one shared entity: safe" true (Twosite.is_safe sys);
-  Util.check "oracle agrees" true (Brute.safe_by_schedules sys = Brute.Safe)
+  Util.check "oracle agrees" true (Util.brute_safe (Brute.safe_by_schedules sys))
 
 (* ------------------------------------------------------------------ *)
 (* Closure machinery *)
@@ -221,7 +221,7 @@ let qcheck_safety_multisite_exact =
            ~cross_prob:(Random.State.float st 1.0) ()))
     (fun sys ->
       match Safety.decide_pair sys with
-      | Safety.Safe _ -> Brute.safe_by_extensions sys = Brute.Safe
+      | Safety.Safe _ -> Util.brute_safe (Brute.safe_by_extensions sys)
       | Safety.Unsafe ev ->
           let h = Safety.schedule_of_evidence ev in
           Distlock_sched.Legality.is_legal sys h

@@ -81,8 +81,8 @@ let test_provenance () =
     (procedure_of (Figures.fig1 ()) = Some E.Checker.Theorem_2);
   Util.check "strong 2PL pair decided by Theorem 1" true
     (procedure_of (two_phase_pair ()) = Some E.Checker.Theorem_1);
-  Util.check "fig5 decided by Lemma 1" true
-    (procedure_of (Figures.fig5 ()) = Some E.Checker.Lemma_1);
+  Util.check "fig5 decided by the state graph" true
+    (procedure_of (Figures.fig5 ()) = Some E.Checker.State_graph);
   Util.check "total pair on three sites decided by Proposition 1" true
     (procedure_of (total_three_site_pair ()) = Some E.Checker.Proposition_1);
   let eng = Decision.create () in
@@ -104,14 +104,27 @@ let test_proposition1_counterexample () =
 (* Budgets and the Unknown path *)
 
 let test_budget_exhaustion () =
-  (* fig5 needs the Lemma 1 oracle; one step is not enough. *)
+  (* fig5 needs an exhaustive oracle; one step is not enough. *)
   let o = Safety.decide ~budget:(E.Budget.of_steps 1) (Figures.fig5 ()) in
   (match o.E.Outcome.verdict with
   | E.Outcome.Unknown _ -> ()
   | _ -> Alcotest.fail "expected Unknown under a 1-step budget");
-  Util.check "the exhausted stage is traced as an error" true
+  (* Exhaustion is reported as an inconclusive pass, never an error. *)
+  let mentions_budget (s : E.Outcome.stage_trace) =
+    let d = s.E.Outcome.detail in
+    let needle = "budget exhausted" in
+    let n = String.length needle and len = String.length d in
+    let rec at i = i + n <= len && (String.sub d i n = needle || at (i + 1)) in
+    at 0
+  in
+  Util.check "an exhausted stage passes with a budget note" true
     (List.exists
-       (fun (s : E.Outcome.stage_trace) -> s.E.Outcome.status = E.Outcome.Errored)
+       (fun (s : E.Outcome.stage_trace) ->
+         s.E.Outcome.status = E.Outcome.Passed && mentions_budget s)
+       o.E.Outcome.trace);
+  Util.check "no stage is traced as an error" true
+    (List.for_all
+       (fun (s : E.Outcome.stage_trace) -> s.E.Outcome.status <> E.Outcome.Errored)
        o.E.Outcome.trace);
   (* The compatibility shim reports the same. *)
   match Safety.decide_pair ~exhaustive_budget:1 (Figures.fig5 ()) with

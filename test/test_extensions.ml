@@ -214,7 +214,7 @@ let qcheck_tree_protocol_safe =
       match Brute.safe_by_extensions ~limit:1_000_000 sys with
       | Brute.Safe -> true
       | Brute.Unsafe _ -> false
-      | exception Failure _ -> true)
+      | Brute.Exhausted _ -> true)
 
 (* ------------------------------------------------------------------ *)
 (* Repair *)

@@ -59,11 +59,11 @@ let gen_small_multi ~sites =
         ~cross_prob:(Random.State.float st 1.0) ())
 
 let prop2_vs_oracle sys =
-  let oracle_pair sub = Brute.safe_by_extensions sub = Brute.Safe in
+  let oracle_pair sub = Util.brute_safe (Brute.safe_by_extensions sub) in
   let p2 =
     Multisite.decide ~pair_decider:oracle_pair sys = Multisite.Safe
   in
-  let oracle = Brute.safe_by_schedules ~limit:2_000_000 sys = Brute.Safe in
+  let oracle = Util.brute_safe (Brute.safe_by_schedules ~limit:2_000_000 sys) in
   p2 = oracle
 
 let qcheck_prop2_centralized =
@@ -95,7 +95,7 @@ let test_decide_known () =
   (match Multisite.decide sys2 with
   | Multisite.Safe -> Alcotest.fail "sequential ring is unsafe"
   | Multisite.Unsafe _ -> ());
-  Util.check "oracle agrees" false (Brute.safe_by_schedules sys2 = Brute.Safe)
+  Util.check "oracle agrees" false (Util.brute_safe (Brute.safe_by_schedules sys2))
 
 let test_unsafe_pair_detected () =
   (* an unsafe pair inside a trio is reported as such *)
@@ -122,7 +122,7 @@ let test_disconnected_conflict_graph () =
   Util.check_int "no conflict arcs" 0
     (Distlock_graph.Digraph.num_arcs (Multisite.conflict_graph sys));
   Util.check "safe" true (Multisite.decide sys = Multisite.Safe);
-  Util.check "oracle agrees" true (Brute.safe_by_schedules sys = Brute.Safe)
+  Util.check "oracle agrees" true (Util.brute_safe (Brute.safe_by_schedules sys))
 
 let test_pair_decider_injection () =
   (* a decider that lies "unsafe" must surface as Unsafe_pair *)

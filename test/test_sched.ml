@@ -107,14 +107,24 @@ let test_enumerate_counts () =
   let t1 = Builder.locked_sequence db ~name:"T1" [ "x" ] in
   let t2 = Builder.locked_sequence db ~name:"T2" [ "y" ] in
   let sys = System.make db [ t1; t2 ] in
+  let exact name = function
+    | Enumerate.Exact n -> n
+    | Enumerate.Exhausted _ -> Alcotest.failf "%s: count exhausted" name
+  in
   Util.check_int "all interleavings" (count_interleavings 3 3)
-    (Enumerate.count_legal sys);
+    (exact "all interleavings" (Enumerate.count_legal sys));
   (* Shared entity: locking forbids interleaved sections; count by hand:
      the 3-step sections must not overlap, so schedules = 2 (T1 first or
      T2 first)? No: sections can't interleave, but the whole transactions
      are the sections here, so exactly 2 legal schedules. *)
   let sys2 = tiny_pair () in
-  Util.check_int "exclusive sections" 2 (Enumerate.count_legal sys2)
+  Util.check_int "exclusive sections" 2
+    (exact "exclusive sections" (Enumerate.count_legal sys2));
+  (* A tiny limit reports typed exhaustion instead of raising. *)
+  match Enumerate.count_legal ~limit:1 sys with
+  | Enumerate.Exhausted 1 -> ()
+  | Enumerate.Exhausted n -> Alcotest.failf "wrong limit recorded: %d" n
+  | Enumerate.Exact _ -> Alcotest.fail "expected exhaustion under limit 1"
 
 let qcheck_enumerated_legal =
   Util.qtest ~count:30 "every enumerated schedule is legal and complete"

@@ -1,0 +1,162 @@
+(* The memoized state-graph oracle: agreement with the schedule- and
+   extension-enumeration oracles on random systems, witness validity,
+   memoization collapse, deadlock agreement, and typed exhaustion. *)
+
+open Distlock_core
+open Distlock_txn
+open Distlock_sched
+
+let mkdb entities =
+  let db = Database.create () in
+  Database.add_all db entities;
+  db
+
+let tiny_pair () =
+  let db = mkdb [ ("x", 1) ] in
+  let t1 = Builder.locked_sequence db ~name:"T1" [ "x" ] in
+  let t2 = Builder.locked_sequence db ~name:"T2" [ "x" ] in
+  System.make db [ t1; t2 ]
+
+let disjoint_pair () =
+  let db = mkdb [ ("x", 1); ("y", 1) ] in
+  let t1 = Builder.locked_sequence db ~name:"T1" [ "x" ] in
+  let t2 = Builder.locked_sequence db ~name:"T2" [ "y" ] in
+  System.make db [ t1; t2 ]
+
+(* The quickstart unsafe pair: lock sections on two sites in the same
+   order, nothing forcing agreement between them. *)
+let unsafe_pair () =
+  let db = mkdb [ ("x", 1); ("z", 2) ] in
+  let mk name =
+    Builder.make_exn db ~name
+      ~steps:
+        [ ("Lx", `Lock "x"); ("Ux", `Unlock "x");
+          ("Lz", `Lock "z"); ("Uz", `Unlock "z") ]
+      ~arcs:[ ("Lx", "Ux"); ("Lz", "Uz") ]
+      ()
+  in
+  System.make db [ mk "T1"; mk "T2" ]
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests *)
+
+let test_known_verdicts () =
+  (match Stategraph.decide (tiny_pair ()) with
+  | Stategraph.Safe, _ -> ()
+  | _ -> Alcotest.fail "tiny pair must be safe");
+  (match Stategraph.decide (unsafe_pair ()) with
+  | Stategraph.Unsafe h, _ ->
+      let sys = unsafe_pair () in
+      Util.check "witness legal" true (Legality.is_legal sys h);
+      Util.check "witness complete" true (Schedule.is_complete sys h);
+      Util.check "witness non-serializable" false
+        (Conflict.is_serializable sys h)
+  | _ -> Alcotest.fail "quickstart pair must be unsafe with a witness")
+
+let test_collapse () =
+  (* Two disjoint 3-step transactions: C(6,3) = 20 schedules but only
+     4*4 = 16 done-mask states (no conflict edges ever), root included.
+     The state graph must be strictly smaller than the schedule tree. *)
+  let sys = disjoint_pair () in
+  let _, st = Stategraph.census sys in
+  Util.check_int "disjoint pair collapses to 16 states" 16 st.Stategraph.states;
+  Util.check "duplicate transitions pruned" true (st.Stategraph.dup_hits > 0);
+  Util.check_int "one complete state" 1 st.Stategraph.complete;
+  Util.check_int "no deadlocks" 0 st.Stategraph.deadlocked;
+  match Enumerate.count_legal sys with
+  | Enumerate.Exact n ->
+      Util.check "fewer states than schedules" true (st.Stategraph.states < n)
+  | Enumerate.Exhausted _ -> Alcotest.fail "tiny census exhausted"
+
+let test_exhaustion () =
+  (match Stategraph.decide ~limit:1 (tiny_pair ()) with
+  | Stategraph.Exhausted { visited; limit }, _ ->
+      Util.check_int "limit recorded" 1 limit;
+      Util.check "visited within limit" true (visited <= 1)
+  | _ -> Alcotest.fail "expected exhaustion under limit 1");
+  match Brute.safe_by_states ~limit:1 (tiny_pair ()) with
+  | Brute.Exhausted { limit = 1; _ } -> ()
+  | _ -> Alcotest.fail "Brute.safe_by_states must surface exhaustion"
+
+let test_deadlock () =
+  let db = mkdb [ ("x", 1); ("y", 1) ] in
+  let t1 = Builder.two_phase_sequence db ~name:"T1" [ "x"; "y" ] in
+  let t2 = Builder.two_phase_sequence db ~name:"T2" [ "y"; "x" ] in
+  Util.check "opposite lock orders deadlock" true
+    (Stategraph.has_deadlock (System.make db [ t1; t2 ]));
+  let db2 = mkdb [ ("x", 1); ("y", 1) ] in
+  let s1 = Builder.two_phase_sequence db2 ~name:"T1" [ "x"; "y" ] in
+  let s2 = Builder.two_phase_sequence db2 ~name:"T2" [ "x"; "y" ] in
+  Util.check "same lock order is deadlock-free" false
+    (Stategraph.has_deadlock (System.make db2 [ s1; s2 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Random agreement: the state-graph oracle must decide exactly what
+   schedule enumeration decides (and, on pairs, what Lemma 1 decides),
+   and every Unsafe witness must be a legal complete non-serializable
+   schedule. *)
+
+let gen_system =
+  Util.gen_with_state (fun st ->
+      let num_txns = 2 + Random.State.int st 2 in
+      Txn_gen.random_multi_system st ~num_txns ~num_entities:4
+        ~entities_per_txn:2
+        ~num_sites:(1 + Random.State.int st 3)
+        ~cross_prob:(Random.State.float st 1.0) ())
+
+let check_witness sys = function
+  | Brute.Safe -> true
+  | Brute.Unsafe h ->
+      Legality.is_legal sys h
+      && Schedule.is_complete sys h
+      && not (Conflict.is_serializable sys h)
+  | Brute.Exhausted { examined; limit } ->
+      Alcotest.failf "state oracle exhausted (%d of %d)" examined limit
+
+let qcheck_states_agree =
+  Util.qtest ~count:1000 "state graph ≡ schedule enumeration (2-3 txns)"
+    gen_system
+    (fun sys ->
+      let by_states = Brute.safe_by_states sys in
+      let agree =
+        Util.brute_safe by_states
+        = Util.brute_safe (Brute.safe_by_schedules sys)
+      in
+      let pair_agree =
+        System.num_txns sys <> 2
+        || Util.brute_safe by_states
+           = Util.brute_safe (Brute.safe_by_extensions sys)
+      in
+      agree && pair_agree && check_witness sys by_states)
+
+let qcheck_deadlock_agrees =
+  Util.qtest ~count:300 "state-graph deadlock ≡ enumerated deadlock"
+    gen_system
+    (fun sys -> Stategraph.has_deadlock sys = Enumerate.has_deadlock sys)
+
+let qcheck_census_bounds =
+  Util.qtest ~count:200 "census never visits more states than schedules ≥ 2 txns have prefixes"
+    (Util.gen_with_state (fun st ->
+         Txn_gen.random_pair_system st ~num_shared:2 ~num_private:1
+           ~num_sites:2 ~cross_prob:0.5 ()))
+    (fun sys ->
+      let _, st = Stategraph.census sys in
+      (* Every distinct state is reached by at least one legal prefix, and
+         distinct complete states partition the complete schedules. *)
+      st.Stategraph.states > 0
+      && st.Stategraph.complete >= if Stategraph.has_deadlock sys then 0 else 1)
+
+let () =
+  Alcotest.run "stategraph"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "known verdicts" `Quick test_known_verdicts;
+          Alcotest.test_case "memoization collapse" `Quick test_collapse;
+          Alcotest.test_case "typed exhaustion" `Quick test_exhaustion;
+          Alcotest.test_case "deadlock" `Quick test_deadlock;
+        ] );
+      ( "agreement",
+        [ qcheck_states_agree; qcheck_deadlock_agrees; qcheck_census_bounds ]
+      );
+    ]

@@ -10,6 +10,16 @@ let qtest ?(count = 100) name gen prop =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~count ~name gen prop)
 
+(* Fold a brute-force verdict to a boolean with an explicit match.
+   Exhaustion fails the test loudly instead of masquerading as UNSAFE,
+   which is what a polymorphic [= Brute.Safe] comparison would do. *)
+let brute_safe = function
+  | Distlock_core.Brute.Safe -> true
+  | Distlock_core.Brute.Unsafe _ -> false
+  | Distlock_core.Brute.Exhausted { examined; limit } ->
+      Alcotest.failf "brute-force oracle exhausted (%d of %d steps)" examined
+        limit
+
 (* A random DAG on [n] vertices as an arc list (arcs only go forward in a
    random permutation, so acyclicity is guaranteed). *)
 let random_dag_arcs st n density =
