@@ -847,6 +847,96 @@ let e16 () =
   metric_b "jobs_verdicts_agree" agree
 
 (* ------------------------------------------------------------------ *)
+(* E17: warm-cache edit latency — an incremental session absorbing
+   single-transaction replacements vs deciding each edited system from
+   scratch. The corpus is subcritical (each transaction locks 2 of 4n
+   entities) so the conflict graph stays a scatter of small components —
+   pair pipelines dominate the from-scratch cost and condition (b)
+   never explodes — while the session re-runs only the pairs incident
+   to the mutated transaction (at most 2n-3 of them). *)
+
+let e17 () =
+  rule "E17 (incremental): warm-cache edit latency vs from-scratch decide";
+  let module E = Distlock_engine in
+  let median = function
+    | [] -> 0.
+    | xs ->
+        let a = List.sort compare xs in
+        List.nth a (List.length a / 2)
+  in
+  let edits_per_size = 15 in
+  param_i "edits_per_size" edits_per_size;
+  List.iter
+    (fun n ->
+      let rng = Random.State.make [| 17 * n |] in
+      let base =
+        Txn_gen.random_multi_system rng ~num_txns:n ~num_entities:(4 * n)
+          ~entities_per_txn:2 ~num_sites:2 ~cross_prob:1.0 ()
+      in
+      let db = System.db base in
+      let pool = Array.of_list (Database.entities db) in
+      let session = Incremental.of_system base in
+      (* Warm the session: the base decision populates the pair store
+         and the cycle caches; every later call is a true delta. *)
+      let warm = Incremental.decide_delta session in
+      let scratch =
+        Decision.create ~cache_capacity:0 ~pair_cache_capacity:0 ()
+      in
+      let delta_times = ref []
+      and scratch_times = ref []
+      and max_redecided = ref 0
+      and agree = ref true in
+      for i = 0 to edits_per_size - 1 do
+        let k = (i * 7 + 3) mod n in
+        let name = List.nth (Incremental.txn_names session) k in
+        let e1 = Random.State.int rng (Array.length pool) in
+        let e2 =
+          (e1 + 1 + Random.State.int rng (Array.length pool - 1))
+          mod Array.length pool
+        in
+        let txn =
+          Txn_gen.random_txn rng db ~name
+            ~entities:[ pool.(e1); pool.(e2) ]
+            ~cross_prob:1.0 ()
+        in
+        Incremental.replace_txn session name txn;
+        let o, t_delta = time (fun () -> Incremental.decide_delta session) in
+        let fresh, t_scratch =
+          time (fun () ->
+              Decision.decide scratch (Incremental.system session))
+        in
+        let same =
+          match (o.Incremental.verdict, fresh.E.Outcome.verdict) with
+          | Incremental.Safe, E.Outcome.Safe
+          | Incremental.Unsafe _, E.Outcome.Unsafe _
+          | Incremental.Unknown _, E.Outcome.Unknown _ ->
+              true
+          | _ -> false
+        in
+        if not same then agree := false;
+        delta_times := t_delta :: !delta_times;
+        scratch_times := t_scratch :: !scratch_times;
+        max_redecided := max !max_redecided o.Incremental.pairs_redecided
+      done;
+      let d = median !delta_times and s = median !scratch_times in
+      let speedup = s /. Float.max d 1e-9 in
+      let bound = (2 * n) - 3 in
+      pf
+        "n=%3d  base: %d pairs, %d cycles; per edit: delta %8.3f ms, \
+         scratch %8.3f ms, %6.1fx; max pairs re-decided %d (bound %d); \
+         verdicts %s\n"
+        n warm.Incremental.pairs_total warm.Incremental.cycles_total (ms d)
+        (ms s) speedup !max_redecided bound
+        (if !agree then "agree" else "DISAGREE");
+      metric_f (Printf.sprintf "n%d_delta_median_seconds" n) d;
+      metric_f (Printf.sprintf "n%d_scratch_median_seconds" n) s;
+      metric_f (Printf.sprintf "n%d_speedup" n) speedup;
+      metric_i (Printf.sprintf "n%d_max_pairs_redecided" n) !max_redecided;
+      metric_i (Printf.sprintf "n%d_pair_bound" n) bound;
+      metric_b (Printf.sprintf "n%d_verdicts_agree" n) !agree)
+    [ 64; 128 ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks *)
 
 let bechamel_benches () =
@@ -943,7 +1033,7 @@ let experiments =
   [ ("E1", e1); ("E2", e2); ("E2b", e2b); ("E3", e3); ("E4", e4);
     ("E5", e5); ("E6", e6); ("E7", e7); ("E8", e8); ("E8b", e8b);
     ("E8c", e8c); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
-    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16) ]
+    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17) ]
 
 let usage () =
   prerr_endline
@@ -1013,7 +1103,7 @@ let () =
          (J.Obj
             [
               ("harness", J.Str "distlock-bench");
-              ("version", J.Str "1.4.0");
+              ("version", J.Str "1.5.0");
               ("experiments", J.List records);
             ]));
     output_char oc '\n';

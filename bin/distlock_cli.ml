@@ -3,6 +3,7 @@
    Subcommands:
      check     decide safety of a transaction system file
      batch     decide many files at once through the cached engine
+     mutate    decide a stream of edits of one system incrementally
      dgraph    print D(T1,T2) (optionally as Graphviz)
      figures   print the paper's worked examples with verdicts
      reduce    encode a DIMACS CNF as a transaction system (Theorem 3)
@@ -38,6 +39,13 @@ let register_engine e =
   metric_engines := e :: !metric_engines;
   e
 
+(* Engine-less stats sinks (the `mutate` session) exported the same way. *)
+let metric_stats : E.Stats.t list ref = ref []
+
+let register_stats s =
+  metric_stats := s :: !metric_stats;
+  s
+
 (* One engine instance shared by every decision the process makes, so
    repeated systems (e.g. across `figures`) hit the verdict cache. *)
 let engine = lazy (register_engine (Decision.create ()))
@@ -54,6 +62,7 @@ let dump_metrics path =
   List.iter
     (fun e -> E.Stats.pp_prometheus ppf (Decision.stats e))
     !metric_engines;
+  List.iter (fun s -> E.Stats.pp_prometheus ppf s) !metric_stats;
   Format.pp_print_flush ppf ();
   close_out oc
 
@@ -208,6 +217,9 @@ let json_of_report (r : E.Engine.batch_report) =
       ("batch_dedup_hits", J.Int r.E.Engine.batch_dedup_hits);
       ("cache_hits", J.Int r.E.Engine.cache_hits);
       ("cache_misses", J.Int r.E.Engine.cache_misses);
+      ("pair_hits", J.Int r.E.Engine.pair_hits);
+      ("pair_misses", J.Int r.E.Engine.pair_misses);
+      ("pairs_redecided", J.Int r.E.Engine.pairs_redecided);
       ("hit_rate", J.Float (E.Engine.hit_rate r));
       ("seconds", J.Float r.E.Engine.batch_seconds);
       ("jobs", J.Int r.E.Engine.jobs);
@@ -322,6 +334,7 @@ let batch_cmd =
       register_engine
         (Decision.create
            ~cache_capacity:(if no_cache then 0 else 1024)
+           ~pair_cache_capacity:(if no_cache then 0 else 4096)
            ~budget ())
     in
     let outcomes, report =
@@ -397,6 +410,195 @@ let batch_cmd =
     Term.(
       const run $ obs_setup $ files $ repeat $ no_cache $ budget $ jobs
       $ stats_flag $ json_flag)
+
+(* `mutate` drives an incremental session over a stream of snapshots:
+   the first FILE is the base system, every later FILE is the system
+   after one edit batch. Consecutive snapshots are diffed by transaction
+   name and content fingerprint into add / remove / replace operations,
+   and the session re-decides after each step, reusing every pair
+   verdict and cycle judgement whose inputs the edit left untouched. *)
+let mutate_cmd =
+  let run () files verify budget stats json =
+    let budget =
+      match budget with
+      | Some n -> E.Budget.of_steps n
+      | None -> E.Budget.unlimited
+    in
+    match files with
+    | [] -> assert false (* non_empty *)
+    | base_file :: edit_files ->
+        let base = load_system base_file in
+        let session = Incremental.of_system ~budget base in
+        ignore (register_stats (Incremental.stats session));
+        let db_sig sys =
+          let db = System.db sys in
+          List.map
+            (fun e -> (Database.name db e, Database.site db e))
+            (Database.entities db)
+        in
+        let base_sig = db_sig base in
+        (* name -> fingerprint of what the session currently holds *)
+        let fpt = Hashtbl.create 16 in
+        Array.iter
+          (fun t -> Hashtbl.replace fpt (Txn.name t) (Txn.fingerprint t))
+          (System.txns base);
+        (* From-scratch comparator for --verify: no verdict cache, no
+           pair store, so agreement is with a genuinely fresh decision. *)
+        let scratch =
+          lazy
+            (Decision.create ~cache_capacity:0 ~pair_cache_capacity:0
+               ~budget ())
+        in
+        let code = ref 0 in
+        let steps = ref [] in
+        let verdict_label = function
+          | Incremental.Safe -> "safe"
+          | Incremental.Unsafe _ -> "unsafe"
+          | Incremental.Unknown _ -> "unknown"
+        in
+        let step file ~added ~removed ~replaced =
+          let o = Incremental.decide_delta session in
+          (code :=
+             max !code
+               (match o.Incremental.verdict with
+               | Incremental.Safe -> 0
+               | Incremental.Unsafe _ -> 1
+               | Incremental.Unknown _ -> 3));
+          if verify && Incremental.num_txns session > 0 then begin
+            let sys = Incremental.system session in
+            let fresh = Decision.decide (Lazy.force scratch) sys in
+            let fresh_label =
+              match fresh.E.Outcome.verdict with
+              | E.Outcome.Safe -> "safe"
+              | E.Outcome.Unsafe _ -> "unsafe"
+              | E.Outcome.Unknown _ -> "unknown"
+            in
+            if fresh_label <> verdict_label o.Incremental.verdict then begin
+              Printf.eprintf
+                "error: %s: incremental verdict %s disagrees with \
+                 from-scratch verdict %s\n"
+                file
+                (verdict_label o.Incremental.verdict)
+                fresh_label;
+              exit 4
+            end
+          end;
+          if json then
+            steps :=
+              J.Obj
+                [
+                  ("file", J.Str file);
+                  ("verdict", J.Str (verdict_label o.Incremental.verdict));
+                  ("added", J.Int added);
+                  ("removed", J.Int removed);
+                  ("replaced", J.Int replaced);
+                  ("pairs_total", J.Int o.Incremental.pairs_total);
+                  ("pairs_reused", J.Int o.Incremental.pairs_reused);
+                  ("pairs_redecided", J.Int o.Incremental.pairs_redecided);
+                  ("cycles_total", J.Int o.Incremental.cycles_total);
+                  ("cycles_reused", J.Int o.Incremental.cycles_reused);
+                  ("cycles_rejudged", J.Int o.Incremental.cycles_rejudged);
+                  ("seconds", J.Float o.Incremental.seconds);
+                ]
+              :: !steps
+          else begin
+            let line =
+              match o.Incremental.verdict with
+              | Incremental.Safe -> "SAFE"
+              | Incremental.Unsafe r ->
+                  "UNSAFE — "
+                  ^ Decision.describe_multi (Incremental.system session) r
+              | Incremental.Unknown m -> "UNKNOWN — " ^ m
+            in
+            Printf.printf "%s: %s\n" file line;
+            Printf.printf
+              "  edits: +%d -%d ~%d; pairs: %d reused, %d re-decided; \
+               cycles: %d reused, %d re-judged\n"
+              added removed replaced o.Incremental.pairs_reused
+              o.Incremental.pairs_redecided o.Incremental.cycles_reused
+              o.Incremental.cycles_rejudged
+          end
+        in
+        step base_file ~added:(System.num_txns base) ~removed:0 ~replaced:0;
+        List.iter
+          (fun file ->
+            let next = load_system file in
+            if db_sig next <> base_sig then begin
+              Printf.eprintf
+                "error: %s: entity declarations differ from %s\n" file
+                base_file;
+              exit 2
+            end;
+            let next_txns = Array.to_list (System.txns next) in
+            let next_names = List.map Txn.name next_txns in
+            let stale =
+              List.filter
+                (fun nm -> not (List.mem nm next_names))
+                (Incremental.txn_names session)
+            in
+            List.iter
+              (fun nm ->
+                Incremental.remove_txn session nm;
+                Hashtbl.remove fpt nm)
+              stale;
+            let added = ref 0 and replaced = ref 0 in
+            List.iter
+              (fun txn ->
+                let nm = Txn.name txn in
+                let fp = Txn.fingerprint txn in
+                match Hashtbl.find_opt fpt nm with
+                | None ->
+                    Incremental.add_txn session txn;
+                    Hashtbl.replace fpt nm fp;
+                    incr added
+                | Some old when old <> fp ->
+                    Incremental.replace_txn session nm txn;
+                    Hashtbl.replace fpt nm fp;
+                    incr replaced
+                | Some _ -> ())
+              next_txns;
+            step file ~added:!added ~removed:(List.length stale)
+              ~replaced:!replaced)
+          edit_files;
+        if json then
+          print_endline
+            (J.to_string_pretty (J.Obj [ ("steps", J.List (List.rev !steps)) ]));
+        if stats then
+          Format.printf "%a@." E.Stats.pp (Incremental.stats session);
+        exit !code
+  in
+  let files =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"BASE EDIT..."
+          ~doc:
+            "The base system followed by one snapshot per edit step; \
+             consecutive snapshots are diffed by transaction name and \
+             content")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "After each step, also decide from scratch (no caches) and \
+             fail with exit 4 if the verdicts disagree")
+  in
+  let budget =
+    Arg.(
+      value & opt (some int) None
+      & info [ "budget" ]
+          ~doc:"Step budget per decision (caps the exhaustive stages)"
+          ~docv:"STEPS")
+  in
+  Cmd.v
+    (Cmd.info "mutate"
+       ~doc:
+         "Decide a stream of edits of one system incrementally, reusing \
+          pair and cycle verdicts across steps")
+    Term.(
+      const run $ obs_setup $ files $ verify $ budget $ stats_flag
+      $ json_flag)
 
 let dgraph_cmd =
   let run () file dot =
@@ -653,9 +855,9 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default
-          (Cmd.info "distlock" ~version:"1.4.0"
+          (Cmd.info "distlock" ~version:"1.5.0"
              ~doc:"Safety of distributed locked transactions (Kanellakis & \
                    Papadimitriou 1982)")
           [ advise_cmd; batch_cmd; check_cmd; analyze_cmd; dgraph_cmd;
-            deadlock_cmd; figures_cmd; plane_cmd; reduce_cmd; repair_cmd;
-            show_cmd; simulate_cmd ]))
+            deadlock_cmd; figures_cmd; mutate_cmd; plane_cmd; reduce_cmd;
+            repair_cmd; show_cmd; simulate_cmd ]))

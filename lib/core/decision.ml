@@ -5,20 +5,65 @@ type evidence =
   | Pair of Checkers.evidence
   | Multi of Multisite.unsafe_reason
 
-let proposition2 =
+(* The Proposition 2 stage, generalized over where pair verdicts come
+   from. With [pair_cache] set, each conflicting pair is looked up by
+   its order-canonical {!System.pair_fingerprint} before the pair
+   pipeline runs, and decided pair verdicts are stored back — so a
+   system sharing pairs with earlier decisions (a batch of edits of one
+   base system, say) re-runs the pipeline only for pairs it does not
+   share. Unknown pairs raise out of the store un-cached, exactly like
+   the uncached path. Cycle enumeration runs under the meter's step
+   allowance and maps exhaustion to an inconclusive [Pass] — never a
+   hang, and the state-graph fallback still gets its chance. *)
+let proposition2_with ?pair_cache ?stats () =
   E.Checker.make ~name:"multisite" ~procedure:E.Checker.Proposition_2
     ~cost:E.Checker.Exponential
     ~applicable:(fun sys -> System.num_txns sys <> 2)
     ~run:(fun meter sys ->
-      match Multisite.decide ~budget:(E.Budget.budget meter) sys with
-      | Multisite.Safe ->
+      let budget = E.Budget.budget meter in
+      let run_pair i j =
+        Safety.is_safe_exn ~budget (Multisite.pair_system sys i j)
+      in
+      let pair_safe =
+        match pair_cache with
+        | None -> run_pair
+        | Some cache ->
+            fun i j -> (
+              let fp = System.pair_fingerprint sys i j in
+              match E.Lru_sharded.find cache fp with
+              | Some safe ->
+                  Option.iter
+                    (fun st -> E.Stats.record_pair_lookup st ~hit:true)
+                    stats;
+                  safe
+              | None ->
+                  Option.iter
+                    (fun st -> E.Stats.record_pair_lookup st ~hit:false)
+                    stats;
+                  let safe = run_pair i j in
+                  Option.iter
+                    (fun st -> E.Stats.record_pair_redecided st)
+                    stats;
+                  E.Lru_sharded.add cache fp safe;
+                  safe)
+      in
+      let cycle_limit = E.Budget.step_allowance meter ~default:2_000_000 in
+      match Multisite.decide_with ~pair_safe ~cycle_limit sys with
+      | Multisite.Decided Multisite.Safe ->
           E.Checker.Safe
             "Proposition 2: all conflicting pairs safe and every \
              conflict-graph cycle has a cyclic B_c"
-      | Multisite.Unsafe reason ->
+      | Multisite.Decided (Multisite.Unsafe reason) ->
           E.Checker.Unsafe
             ("Proposition 2: unsafety witness found", Multi reason)
+      | Multisite.Exhausted { examined; limit } ->
+          E.Checker.Pass
+            (Printf.sprintf
+               "cycle-enumeration budget exhausted after %d of %d steps"
+               examined limit)
       | exception Failure msg -> E.Checker.Error msg)
+
+let proposition2 = proposition2_with ()
 
 (* Exact fallback for many-transaction systems (the two-transaction
    table carries its own state-graph stage): memoized reachability over
@@ -53,9 +98,20 @@ let checkers =
 
 type t = (System.t, evidence) E.Engine.t
 
-let create ?(cache_capacity = 1024) ?budget () =
-  E.Engine.create ~cache_capacity ?budget ~fingerprint:System.fingerprint
-    checkers
+let create ?(cache_capacity = 1024) ?(pair_cache_capacity = 4096) ?budget () =
+  let stats = E.Stats.create () in
+  let pair_cache =
+    if pair_cache_capacity <= 0 then None
+    else Some (E.Lru_sharded.create ~capacity:pair_cache_capacity ())
+  in
+  let checkers =
+    List.map
+      (E.Checker.map_evidence (fun ev -> Pair ev))
+      Checkers.pair_checkers
+    @ [ proposition2_with ?pair_cache ~stats (); state_graph_multi ]
+  in
+  E.Engine.create ~cache_capacity ?budget ~stats
+    ~fingerprint:System.fingerprint checkers
 
 let decide ?budget t sys = E.Engine.decide ?budget t sys
 

@@ -17,9 +17,22 @@ type evidence =
       (** Proposition 2: an unsafe conflicting pair, or a conflict-graph
           cycle with acyclic [B_c]. *)
 
+val proposition2_with :
+  ?pair_cache:bool Distlock_engine.Lru_sharded.t ->
+  ?stats:Distlock_engine.Stats.t ->
+  unit ->
+  (System.t, evidence) Distlock_engine.Checker.t
+(** The Proposition 2 stage over an optional pair-verdict store:
+    applicable to any system that is not a pair; runs
+    {!Multisite.decide_with} under the stage budget, resolving each
+    conflicting pair through [pair_cache] (keyed by
+    {!System.pair_fingerprint}) when given, recording pair-cache
+    hits/misses into [stats]. Cycle-enumeration exhaustion becomes an
+    inconclusive [Pass] (never a hang); an undecided pair becomes a
+    stage [Error], as before. *)
+
 val proposition2 : (System.t, evidence) Distlock_engine.Checker.t
-(** Applicable to any system that is not a pair; runs
-    {!Multisite.decide} under the stage budget. *)
+(** [proposition2_with ()] — the uncached variant. *)
 
 val checkers : (System.t, evidence) Distlock_engine.Checker.t list
 (** {!Checkers.pair_checkers} (with evidence wrapped in {!Pair})
@@ -28,12 +41,20 @@ val checkers : (System.t, evidence) Distlock_engine.Checker.t list
 type t = (System.t, evidence) Distlock_engine.Engine.t
 
 val create :
-  ?cache_capacity:int -> ?budget:Distlock_engine.Budget.t -> unit -> t
+  ?cache_capacity:int ->
+  ?pair_cache_capacity:int ->
+  ?budget:Distlock_engine.Budget.t ->
+  unit ->
+  t
 (** A fresh engine keyed by {!System.fingerprint}. [cache_capacity]
     (default [1024]) bounds the LRU verdict cache; [0] disables caching
-    entirely. [budget] (default unlimited) applies to every decision
-    unless overridden per call. Decided verdicts are cached; [Unknown]
-    outcomes never are, since they depend on the budget in force. *)
+    entirely. [pair_cache_capacity] (default [4096]) bounds the
+    pair-fingerprint verdict store consulted by the Proposition 2 stage
+    ({!proposition2_with}); [0] disables it, making every pair verdict
+    a fresh pipeline run. [budget] (default unlimited) applies to every
+    decision unless overridden per call. Decided verdicts are cached;
+    [Unknown] outcomes never are, since they depend on the budget in
+    force. *)
 
 val decide :
   ?budget:Distlock_engine.Budget.t ->

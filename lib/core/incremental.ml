@@ -1,0 +1,359 @@
+open Distlock_txn
+module E = Distlock_engine
+module G = Distlock_graph
+module Obs = Distlock_obs.Obs
+module A = Distlock_obs.Attr
+
+(* Bounds on the content-keyed side tables. They are plain Hashtbls (one
+   session, one domain), so the cap is a reset, not an LRU: a workload
+   that genuinely cycles through more distinct SCCs or cycles than this
+   re-derives them — correctness never depends on a hit. *)
+let cycle_cache_cap = 65_536
+let scc_cache_cap = 4_096
+
+type verdict =
+  | Safe
+  | Unsafe of Multisite.unsafe_reason
+  | Unknown of string
+
+type outcome = {
+  verdict : verdict;
+  pairs_total : int;
+  pairs_reused : int;
+  pairs_redecided : int;
+  cycles_total : int;
+  cycles_reused : int;
+  cycles_rejudged : int;
+  seconds : float;
+}
+
+type t = {
+  db : Database.t;
+  mutable txns : Txn.t list; (* insertion order *)
+  conflicts : G.Dyngraph.t; (* vertices are transaction names *)
+  locked : (string, Database.entity list) Hashtbl.t; (* sorted ids *)
+  fps : (string, string) Hashtbl.t; (* name -> Txn.fingerprint *)
+  pair_cache : bool E.Lru_sharded.t; (* pair_fingerprint -> safe? *)
+  pair_keys : (string * string, string) Hashtbl.t;
+      (* sorted name pair -> pair_fingerprint; entries dropped when
+         either endpoint mutates, so holds only live conflicting pairs *)
+  cycle_cache : (string, bool) Hashtbl.t; (* cycle content -> B_c cyclic? *)
+  scc_cycles : (string, int list list) Hashtbl.t;
+      (* SCC content -> its simple cycles, as fp-rank lists *)
+  stats : E.Stats.t;
+  default_budget : E.Budget.t;
+  mutable snapshot : System.t option;
+}
+
+(* Both lists ascending (Txn.locked_entities sorts). *)
+let rec intersects a b =
+  match (a, b) with
+  | [], _ | _, [] -> false
+  | x :: a', y :: b' ->
+      if x = y then true else if x < y then intersects a' b else intersects a b'
+
+let connect t name =
+  let locked = Hashtbl.find t.locked name in
+  Hashtbl.iter
+    (fun other their ->
+      if other <> name && intersects locked their then
+        G.Dyngraph.add_edge t.conflicts name other)
+    t.locked
+
+let drop_pair_keys t name =
+  let stale =
+    Hashtbl.fold
+      (fun ((a, b) as k) _ acc ->
+        if a = name || b = name then k :: acc else acc)
+      t.pair_keys []
+  in
+  List.iter (Hashtbl.remove t.pair_keys) stale
+
+let register t txn =
+  let name = Txn.name txn in
+  if Hashtbl.mem t.fps name then
+    invalid_arg ("Incremental: duplicate transaction name " ^ name);
+  Hashtbl.replace t.fps name (Txn.fingerprint txn);
+  Hashtbl.replace t.locked name (Txn.locked_entities txn);
+  drop_pair_keys t name;
+  G.Dyngraph.add_vertex t.conflicts name;
+  connect t name
+
+let unregister t name =
+  if not (Hashtbl.mem t.fps name) then
+    invalid_arg ("Incremental: unknown transaction " ^ name);
+  Hashtbl.remove t.fps name;
+  Hashtbl.remove t.locked name;
+  drop_pair_keys t name;
+  G.Dyngraph.remove_vertex t.conflicts name
+
+let create ?(pair_cache_capacity = 4096) ?(budget = E.Budget.unlimited) db
+    txns =
+  let t =
+    {
+      db;
+      txns = [];
+      conflicts = G.Dyngraph.create ();
+      locked = Hashtbl.create 64;
+      fps = Hashtbl.create 64;
+      pair_cache =
+        E.Lru_sharded.create ~capacity:(max 1 pair_cache_capacity) ();
+      pair_keys = Hashtbl.create 64;
+      cycle_cache = Hashtbl.create 64;
+      scc_cycles = Hashtbl.create 16;
+      stats = E.Stats.create ();
+      default_budget = budget;
+      snapshot = None;
+    }
+  in
+  List.iter
+    (fun txn ->
+      register t txn;
+      t.txns <- t.txns @ [ txn ])
+    txns;
+  t
+
+let of_system ?pair_cache_capacity ?budget sys =
+  create ?pair_cache_capacity ?budget (System.db sys)
+    (Array.to_list (System.txns sys))
+
+let system t =
+  match t.snapshot with
+  | Some s -> s
+  | None ->
+      if t.txns = [] then invalid_arg "Incremental.system: empty session";
+      let s = System.make t.db t.txns in
+      t.snapshot <- Some s;
+      s
+
+let num_txns t = List.length t.txns
+
+let txn_names t = List.map Txn.name t.txns
+
+let stats t = t.stats
+
+let add_txn t txn =
+  register t txn;
+  t.txns <- t.txns @ [ txn ];
+  t.snapshot <- None
+
+let remove_txn t name =
+  unregister t name;
+  t.txns <- List.filter (fun x -> Txn.name x <> name) t.txns;
+  t.snapshot <- None
+
+let replace_txn t name txn =
+  if not (Hashtbl.mem t.fps name) then
+    invalid_arg ("Incremental: unknown transaction " ^ name);
+  let new_name = Txn.name txn in
+  if new_name <> name && Hashtbl.mem t.fps new_name then
+    invalid_arg ("Incremental: duplicate transaction name " ^ new_name);
+  unregister t name;
+  register t txn;
+  t.txns <- List.map (fun x -> if Txn.name x = name then txn else x) t.txns;
+  t.snapshot <- None
+
+exception Found_unsafe of Multisite.unsafe_reason
+exception Undecided of string
+
+let digest parts = Digest.to_hex (Digest.string (String.concat "|" parts))
+
+let capped_replace tbl ~cap key v =
+  if Hashtbl.length tbl >= cap then Hashtbl.reset tbl;
+  Hashtbl.replace tbl key v
+
+let decide_delta ?budget t =
+  let budget = Option.value budget ~default:t.default_budget in
+  let meter = E.Budget.start budget in
+  let pairs_total = ref 0
+  and pairs_reused = ref 0
+  and pairs_redecided = ref 0
+  and cycles_total = ref 0
+  and cycles_reused = ref 0
+  and cycles_rejudged = ref 0 in
+  let sp = Obs.start_span "session.decide_delta" in
+  let verdict =
+    match t.txns with
+    | [] | [ _ ] -> Safe (* no conflicting pair, no cycle of length >= 3 *)
+    | _ -> (
+        (* Built only when a cache miss actually needs transaction
+           content — a fully warm call re-decides nothing and skips
+           the snapshot entirely. *)
+        let sys = lazy (system t) in
+        let names = Array.of_list (txn_names t) in
+        let n = Array.length names in
+        let fp_of i = Hashtbl.find t.fps names.(i) in
+        (* Condition (a): each conflicting pair through the pair-verdict
+           store; only pairs whose fingerprint is new since the last
+           call reach the pipeline. Pair fingerprints themselves are
+           cached per name pair and dropped when an endpoint mutates. *)
+        let pair_key i j =
+          let key =
+            if names.(i) <= names.(j) then (names.(i), names.(j))
+            else (names.(j), names.(i))
+          in
+          match Hashtbl.find_opt t.pair_keys key with
+          | Some fp -> fp
+          | None ->
+              let fp =
+                System.pair_fingerprint_with ~fp:fp_of (Lazy.force sys) i j
+              in
+              Hashtbl.replace t.pair_keys key fp;
+              fp
+        in
+        let pair_safe i j =
+          let fp = pair_key i j in
+          match E.Lru_sharded.find t.pair_cache fp with
+          | Some safe ->
+              incr pairs_reused;
+              E.Stats.record_pair_lookup t.stats ~hit:true;
+              safe
+          | None -> (
+              E.Stats.record_pair_lookup t.stats ~hit:false;
+              let sub = Multisite.pair_system (Lazy.force sys) i j in
+              let o =
+                E.Engine.run ~stats:t.stats ~budget:(E.Budget.budget meter)
+                  Checkers.pair_checkers sub
+              in
+              match o.E.Outcome.verdict with
+              | E.Outcome.Unknown msg -> raise (Undecided msg)
+              | E.Outcome.Safe | E.Outcome.Unsafe _ ->
+                  let safe = o.E.Outcome.verdict = E.Outcome.Safe in
+                  incr pairs_redecided;
+                  E.Stats.record_pair_redecided t.stats;
+                  E.Lru_sharded.add t.pair_cache fp safe;
+                  safe)
+        in
+        let cycle_limit =
+          E.Budget.step_allowance meter ~default:2_000_000
+        in
+        try
+          for i = 0 to n - 1 do
+            for j = i + 1 to n - 1 do
+              if G.Dyngraph.has_edge t.conflicts names.(i) names.(j) then begin
+                incr pairs_total;
+                if not (pair_safe i j) then
+                  raise (Found_unsafe (Multisite.Unsafe_pair (i, j)))
+              end
+            done
+          done;
+          (* Condition (b), scoped to strongly connected components: a
+             directed simple cycle lives inside one SCC, so each
+             component's cycle list is enumerated over a canonical
+             (fingerprint-ranked) renumbering and cached by component
+             content — components untouched by recent edits hit. *)
+          let idx = Hashtbl.create n in
+          Array.iteri (fun i nm -> Hashtbl.replace idx nm i) names;
+          let g =
+            G.Dyngraph.to_digraph t.conflicts
+              ~index_of:(Hashtbl.find idx) ~n
+          in
+          let scc = G.Scc.compute g in
+          for comp = 0 to scc.G.Scc.count - 1 do
+            let mem = G.Scc.members scc comp in
+            if List.length mem >= 3 then begin
+              let ranked =
+                Array.of_list
+                  (List.sort (fun a b -> compare (fp_of a) (fp_of b)) mem)
+              in
+              let rank_of = Hashtbl.create (Array.length ranked) in
+              Array.iteri (fun r v -> Hashtbl.replace rank_of v r) ranked;
+              let arcs = ref [] in
+              List.iter
+                (fun u ->
+                  G.Digraph.iter_succ g u (fun v ->
+                      if scc.G.Scc.component.(v) = comp then
+                        arcs :=
+                          (Hashtbl.find rank_of u, Hashtbl.find rank_of v)
+                          :: !arcs))
+                mem;
+              let arcs = List.sort compare !arcs in
+              let key =
+                digest
+                  ("scc"
+                  :: Array.to_list (Array.map fp_of ranked)
+                  @ List.map
+                      (fun (u, v) -> Printf.sprintf "%d>%d" u v)
+                      arcs)
+              in
+              let cycles =
+                match Hashtbl.find_opt t.scc_cycles key with
+                | Some cs -> cs
+                | None -> (
+                    let gsub = G.Digraph.create (Array.length ranked) in
+                    List.iter
+                      (fun (u, v) -> G.Digraph.add_arc gsub u v)
+                      arcs;
+                    match
+                      Multisite.simple_cycles_bounded ~limit:cycle_limit gsub
+                    with
+                    | Multisite.Cut { examined; limit } ->
+                        raise
+                          (Undecided
+                             (Printf.sprintf
+                                "cycle-enumeration budget exhausted after \
+                                 %d of %d steps"
+                                examined limit))
+                    | Multisite.Cycles cs ->
+                        capped_replace t.scc_cycles ~cap:scc_cache_cap key cs;
+                        cs)
+              in
+              List.iter
+                (fun cyc ->
+                  incr cycles_total;
+                  let orig = List.map (fun r -> ranked.(r)) cyc in
+                  let ckey = digest ("cyc" :: List.map fp_of orig) in
+                  let bc_cyclic =
+                    match Hashtbl.find_opt t.cycle_cache ckey with
+                    | Some cyclic ->
+                        incr cycles_reused;
+                        cyclic
+                    | None ->
+                        incr cycles_rejudged;
+                        let cyclic =
+                          not
+                            (G.Topo.is_acyclic
+                               (Multisite.b_cycle_graph (Lazy.force sys)
+                                  orig))
+                        in
+                        capped_replace t.cycle_cache ~cap:cycle_cache_cap
+                          ckey cyclic;
+                        cyclic
+                  in
+                  if not bc_cyclic then
+                    raise (Found_unsafe (Multisite.Acyclic_bc orig)))
+                cycles
+            end
+          done;
+          Safe
+        with
+        | Found_unsafe r -> Unsafe r
+        | Undecided msg -> Unknown msg)
+  in
+  let seconds = E.Budget.elapsed meter in
+  if Obs.enabled () then
+    Obs.add_attrs sp
+      [
+        A.str "verdict"
+          (match verdict with
+          | Safe -> "safe"
+          | Unsafe _ -> "unsafe"
+          | Unknown _ -> "unknown");
+        A.int "pairs_total" !pairs_total;
+        A.int "pairs_reused" !pairs_reused;
+        A.int "pairs_redecided" !pairs_redecided;
+        A.int "cycles_total" !cycles_total;
+        A.int "cycles_reused" !cycles_reused;
+        A.int "cycles_rejudged" !cycles_rejudged;
+      ];
+  Obs.end_span sp;
+  {
+    verdict;
+    pairs_total = !pairs_total;
+    pairs_reused = !pairs_reused;
+    pairs_redecided = !pairs_redecided;
+    cycles_total = !cycles_total;
+    cycles_reused = !cycles_reused;
+    cycles_rejudged = !cycles_rejudged;
+    seconds;
+  }

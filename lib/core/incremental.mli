@@ -1,0 +1,106 @@
+open Distlock_txn
+
+(** A mutable transaction system with incremental safety decisions.
+
+    {!Multisite.decide} re-derives everything from scratch on every
+    call, so editing one transaction of an [n]-transaction system costs
+    O(n²) pair re-checks plus a full cycle enumeration. A session keeps
+    the state Proposition 2 actually works at between calls:
+
+    - a {b pair-verdict store} ({!Distlock_engine.Lru_sharded}) keyed by
+      the order-canonical {!System.pair_fingerprint}, so after a
+      single-transaction edit only the O(n) pairs involving the mutated
+      transaction re-run the pair pipeline (at most [2n − 3]: the pair
+      fingerprints of all other pairs are unchanged by construction);
+    - the {b conflict graph}, maintained edge-incrementally over
+      transaction names ({!Distlock_graph.Dyngraph}) — an edit touches
+      only the edges incident to the mutated vertex;
+    - {b per-cycle B_c verdicts} and {b per-SCC cycle enumerations},
+      keyed by content digests of their member transactions, so
+      condition (b) is re-judged only for cycles through a touched
+      component. [B_c] graphs are rebuilt only for cycles whose member
+      pairs changed.
+
+    Sessions are cheap to create and single-domain (the caches they
+    reuse are domain-safe, but the mutation API is not serialized). *)
+
+type t
+
+val create :
+  ?pair_cache_capacity:int ->
+  ?budget:Distlock_engine.Budget.t ->
+  Database.t ->
+  Txn.t list ->
+  t
+(** An empty-or-seeded session over one database.
+    [pair_cache_capacity] (default [4096], minimum [1]) bounds the
+    pair-verdict store; [budget] (default unlimited) applies to every
+    {!decide_delta} that does not pass its own. Raises
+    [Invalid_argument] on duplicate transaction names. *)
+
+val of_system :
+  ?pair_cache_capacity:int ->
+  ?budget:Distlock_engine.Budget.t ->
+  System.t ->
+  t
+
+val system : t -> System.t
+(** The current snapshot (cached between edits). Raises
+    [Invalid_argument] when the session holds no transactions. *)
+
+val num_txns : t -> int
+
+val txn_names : t -> string list
+(** In insertion order. *)
+
+val stats : t -> Distlock_engine.Stats.t
+(** Pair-cache hits/misses/re-decisions and per-stage counters for the
+    pair pipeline runs this session performed. *)
+
+(** {1 Mutations}
+
+    Each is O(degree) on the conflict graph plus O(n) conflict
+    re-detection against the other transactions; no pair pipeline runs
+    until the next {!decide_delta}. *)
+
+val add_txn : t -> Txn.t -> unit
+(** Raises [Invalid_argument] if a transaction of that name exists. *)
+
+val remove_txn : t -> string -> unit
+(** By name; raises [Invalid_argument] if absent. *)
+
+val replace_txn : t -> string -> Txn.t -> unit
+(** Replaces the named transaction in place (keeping its position). The
+    replacement may carry a different name as long as it collides with
+    no other transaction. Raises [Invalid_argument] if the named
+    transaction is absent or the new name collides. *)
+
+(** {1 Deciding} *)
+
+type verdict =
+  | Safe
+  | Unsafe of Multisite.unsafe_reason
+      (** Indices refer to the current {!system} snapshot. *)
+  | Unknown of string
+      (** An undecided pair within budget, or cycle-enumeration
+          exhaustion ({!Multisite.exhaustion}) — never a hang. *)
+
+type outcome = {
+  verdict : verdict;
+  pairs_total : int;  (** Conflicting pairs examined. *)
+  pairs_reused : int;  (** Served by the pair-verdict store. *)
+  pairs_redecided : int;  (** Pair pipeline runs this call. *)
+  cycles_total : int;  (** Conflict-graph cycles examined. *)
+  cycles_reused : int;  (** B_c verdicts reused from earlier calls. *)
+  cycles_rejudged : int;  (** B_c graphs rebuilt and re-judged. *)
+  seconds : float;
+}
+
+val decide_delta : ?budget:Distlock_engine.Budget.t -> t -> outcome
+(** Decide the current system, reusing every pair verdict, cycle list,
+    and B_c verdict whose inputs are untouched since the last call.
+    Semantically identical to a from-scratch {!Decision.decide} /
+    {!Multisite.decide} on {!system} (the qcheck mutation property in
+    the test suite pins this); an empty or single-transaction session
+    is trivially safe. An unsafe pair short-circuits: later pairs are
+    neither examined nor counted. *)

@@ -106,59 +106,102 @@ let b_cycle_graph sys cycle =
   in
   fst (build_b sys triples)
 
-let simple_cycles g =
+type exhaustion = { examined : int; limit : int }
+
+type cycle_enum = Cycles of int list list | Cut of exhaustion
+
+let simple_cycles_bounded ~limit g =
   let n = Digraph.n g in
   let cycles = ref [] in
+  let steps = ref 0 in
+  let exception Budget_cut in
   (* DFS from each root, only visiting vertices >= root, so each cycle is
-     found exactly once per orientation with its smallest vertex first. *)
+     found exactly once per orientation with its smallest vertex first.
+     Every arc the search follows counts one step against [limit]: the
+     path count — not the cycle count — is what explodes on dense
+     graphs, so that is what the budget must meter. *)
   let rec extend root path on_path v =
     Digraph.iter_succ g v (fun w ->
+        incr steps;
+        if !steps > limit then raise Budget_cut;
         if w = root && List.length path >= 3 then
           cycles := List.rev path :: !cycles
         else if w > root && not (List.mem w on_path) then
           extend root (w :: path) (w :: on_path) w)
   in
-  for root = 0 to n - 1 do
-    extend root [ root ] [ root ] root
-  done;
-  !cycles
+  match
+    for root = 0 to n - 1 do
+      extend root [ root ] [ root ] root
+    done
+  with
+  | () -> Cycles !cycles
+  | exception Budget_cut -> Cut { examined = !steps; limit }
 
-let decide ?pair_decider ?budget sys =
+let simple_cycles g =
+  match simple_cycles_bounded ~limit:max_int g with
+  | Cycles cs -> cs
+  | Cut _ -> assert false (* max_int steps is unreachable *)
+
+let conflicting_pairs sys =
+  let r = System.num_txns sys in
+  let acc = ref [] in
+  for i = r - 1 downto 0 do
+    for j = r - 1 downto i + 1 do
+      if System.common_locked sys i j <> [] then acc := (i, j) :: !acc
+    done
+  done;
+  !acc
+
+let pair_system sys i j =
+  System.make (System.db sys) [ System.txn sys i; System.txn sys j ]
+
+type result = Decided of verdict | Exhausted of exhaustion
+
+(* Condition (b) alone: every directed cycle of [g] must have a cyclic
+   B_c. Pure in the pair verdicts — callers that already know (a) holds
+   (e.g. from a pair-verdict store) come straight here. *)
+let check_cycles ?(cycle_limit = max_int) sys g =
+  match simple_cycles_bounded ~limit:cycle_limit g with
+  | Cut e -> Exhausted e
+  | Cycles cs -> (
+      match
+        List.find_opt
+          (fun c -> Distlock_graph.Topo.is_acyclic (b_cycle_graph sys c))
+          cs
+      with
+      | Some c -> Decided (Unsafe (Acyclic_bc c))
+      | None -> Decided Safe)
+
+let decide_with ~pair_safe ?cycle_limit sys =
+  (* (a) all conflicting two-transaction subsystems safe *)
+  match
+    List.find_opt (fun (i, j) -> not (pair_safe i j)) (conflicting_pairs sys)
+  with
+  | Some (i, j) -> Decided (Unsafe (Unsafe_pair (i, j)))
+  | None ->
+      (* (b) every directed conflict-graph cycle has a cyclic B_c *)
+      check_cycles ?cycle_limit sys (conflict_graph sys)
+
+let decide_bounded ?pair_decider ?budget ?cycle_limit sys =
   let pair_safe =
     match pair_decider with
-    | Some f -> f
-    | None -> fun pair_sys -> Safety.is_safe_exn ?budget pair_sys
+    | Some f -> fun i j -> f (pair_system sys i j)
+    | None -> fun i j -> Safety.is_safe_exn ?budget (pair_system sys i j)
   in
-  let r = System.num_txns sys in
-  (* (a) all two-transaction subsystems safe *)
-  let bad_pair = ref None in
-  (try
-     for i = 0 to r - 1 do
-       for j = i + 1 to r - 1 do
-         if System.common_locked sys i j <> [] then begin
-           let sub =
-             System.make (System.db sys) [ System.txn sys i; System.txn sys j ]
-           in
-           if not (pair_safe sub) then begin
-             bad_pair := Some (i, j);
-             raise Exit
-           end
-         end
-       done
-     done
-   with Exit -> ());
-  match !bad_pair with
-  | Some (i, j) -> Unsafe (Unsafe_pair (i, j))
-  | None -> (
-      (* (b) every directed conflict-graph cycle has a cyclic B_c *)
-      let g = conflict_graph sys in
-      let bad_cycle =
-        List.find_opt
-          (fun c ->
-            let bc = b_cycle_graph sys c in
-            Distlock_graph.Topo.is_acyclic bc)
-          (simple_cycles g)
-      in
-      match bad_cycle with
-      | Some c -> Unsafe (Acyclic_bc c)
-      | None -> Safe)
+  let cycle_limit =
+    match (cycle_limit, budget) with
+    | Some l, _ -> Some l
+    | None, Some (b : Distlock_engine.Budget.t) -> b.Distlock_engine.Budget.max_steps
+    | None, None -> None
+  in
+  decide_with ~pair_safe ?cycle_limit sys
+
+let decide ?pair_decider ?budget sys =
+  match decide_bounded ?pair_decider ?budget sys with
+  | Decided v -> v
+  | Exhausted { examined; limit } ->
+      failwith
+        (Printf.sprintf
+           "Proposition 2: cycle-enumeration budget exhausted after %d of %d \
+            steps"
+           examined limit)

@@ -37,15 +37,66 @@ val b_graph : System.t -> i:int -> j:int -> k:int -> Digraph.t * (int * int * Da
 val b_cycle_graph : System.t -> int list -> Digraph.t
 (** [B_c] for a directed cycle given as a transaction-index list. *)
 
-val simple_cycles : Digraph.t -> int list list
+type exhaustion = { examined : int; limit : int }
+(** A typed budget cut, mirroring [Brute.Exhausted]: the enumeration
+    followed [examined] arcs of its [limit]-arc allowance and stopped. *)
+
+type cycle_enum = Cycles of int list list | Cut of exhaustion
+
+val simple_cycles_bounded : limit:int -> Digraph.t -> cycle_enum
 (** All directed simple cycles of length >= 3, each rotation-normalized
-    (smallest vertex first), both orientations included. *)
+    (smallest vertex first), both orientations included — unless the
+    DFS follows more than [limit] arcs first, in which case [Cut] is
+    returned instead of hanging on a dense graph (the number of simple
+    {e paths} explored is what grows exponentially). *)
+
+val simple_cycles : Digraph.t -> int list list
+(** [simple_cycles g] = [simple_cycles_bounded ~limit:max_int g] — the
+    unbudgeted enumeration, for graphs known to be small. *)
+
+val conflicting_pairs : System.t -> (int * int) list
+(** Index pairs [(i, j)], [i < j], locking a common entity — the edge
+    list of {!conflict_graph} — in lexicographic order. *)
+
+val pair_system : System.t -> int -> int -> System.t
+(** The two-transaction subsystem [{Ti, Tj}] over the same database. *)
+
+type result = Decided of verdict | Exhausted of exhaustion
+
+val check_cycles : ?cycle_limit:int -> System.t -> Digraph.t -> result
+(** Condition (b) alone, as a pure judge over a conflict graph [g]:
+    enumerate [g]'s directed simple cycles (within [cycle_limit] DFS
+    arcs, default unlimited) and find one whose [B_c] is acyclic.
+    Assumes condition (a) was already established elsewhere — e.g. from
+    a pair-verdict store. *)
+
+val decide_with :
+  pair_safe:(int -> int -> bool) -> ?cycle_limit:int -> System.t -> result
+(** The Proposition 2 skeleton over an abstract pair-verdict store:
+    [pair_safe i j] answers condition (a) for the conflicting pair
+    [(i, j)] ([i < j], asked in lexicographic order, first failure
+    wins), then {!check_cycles} judges condition (b). This is the
+    function both {!decide} and the incremental
+    [Incremental.decide_delta] instantiate — they differ only in where
+    pair verdicts come from. *)
+
+val decide_bounded :
+  ?pair_decider:(System.t -> bool) ->
+  ?budget:Distlock_engine.Budget.t ->
+  ?cycle_limit:int ->
+  System.t ->
+  result
+(** {!decide_with} with pair verdicts computed on the fly:
+    [pair_decider] decides each two-transaction subsystem (default
+    {!Safety.is_safe_exn} under [budget]). [cycle_limit] defaults to
+    the budget's [max_steps] when set, otherwise unlimited. *)
 
 val decide :
   ?pair_decider:(System.t -> bool) ->
   ?budget:Distlock_engine.Budget.t ->
   System.t ->
   verdict
-(** [pair_decider] decides safety of each two-transaction subsystem
-    (default: {!Safety.is_safe_exn}, run under [budget] if given;
-    [budget] is ignored when an explicit [pair_decider] is supplied). *)
+(** {!decide_bounded} collapsed to the historical API: raises [Failure]
+    on cycle-budget exhaustion (as {!Safety.is_safe_exn} already does on
+    an undecided pair). [budget] is ignored when an explicit
+    [pair_decider] is supplied, except for its cycle-enumeration cap. *)

@@ -17,8 +17,8 @@ type ('sys, 'ev) t = {
   default_budget : Budget.t;
 }
 
-let create ?(cache_capacity = 1024) ?(budget = Budget.unlimited) ~fingerprint
-    checkers =
+let create ?(cache_capacity = 1024) ?(budget = Budget.unlimited) ?stats
+    ~fingerprint checkers =
   if checkers = [] then invalid_arg "Engine.create: no checkers";
   {
     checkers;
@@ -26,7 +26,7 @@ let create ?(cache_capacity = 1024) ?(budget = Budget.unlimited) ~fingerprint
     cache =
       (if cache_capacity <= 0 then None
        else Some (Lru_sharded.create ~capacity:cache_capacity ()));
-    stats = Stats.create ();
+    stats = (match stats with Some s -> s | None -> Stats.create ());
     default_budget = budget;
   }
 
@@ -226,6 +226,9 @@ type batch_report = {
   batch_dedup_hits : int;
   cache_hits : int;
   cache_misses : int;
+  pair_hits : int;
+  pair_misses : int;
+  pairs_redecided : int;
   batch_seconds : float;
   jobs : int;
   per_procedure : (string * int) list;
@@ -267,6 +270,13 @@ let decide_batch ?budget ?(jobs = 1) t syss =
       ~attrs:(fun () -> [ A.int "submitted" submitted; A.int "jobs" jobs ])
   in
   let t0 = Obs.now_s () in
+  (* Pair-cache deltas over the batch: snapshot the engine's counters
+     here and subtract on the way out. The counters are atomic, so with
+     [jobs > 1] a concurrent user of the same stats could inflate the
+     delta — the engine's own workers are the only writers in the CLI. *)
+  let ph0 = Stats.pair_hits t.stats
+  and pm0 = Stats.pair_misses t.stats
+  and pr0 = Stats.pairs_redecided t.stats in
   let keyed = List.map (fun sys -> (t.fingerprint sys, sys)) syss in
   (* Parallel prelude: fan the batch's distinct systems out to a domain
      pool, one decision per task, and collect their outcomes. [decide]
@@ -337,6 +347,9 @@ let decide_batch ?budget ?(jobs = 1) t syss =
       batch_dedup_hits = !dedup;
       cache_hits = !hits;
       cache_misses = !misses;
+      pair_hits = Stats.pair_hits t.stats - ph0;
+      pair_misses = Stats.pair_misses t.stats - pm0;
+      pairs_redecided = Stats.pairs_redecided t.stats - pr0;
       batch_seconds = Obs.now_s () -. t0;
       jobs;
       per_procedure = Tally.to_list tally;
@@ -360,7 +373,14 @@ let pp_batch_report ppf r =
     r.submitted r.unique r.batch_dedup_hits r.cache_hits r.cache_misses
     (100. *. hit_rate r)
     (r.batch_seconds *. 1_000.)
-    (if r.jobs > 1 then Printf.sprintf " (%d jobs)" r.jobs else "")
+    ((if r.jobs > 1 then Printf.sprintf " (%d jobs)" r.jobs else "")
+    (* Pair-cache numbers appear only when the pair store was consulted,
+       so pair-free (two-transaction) batches print exactly as before. *)
+    ^
+    if r.pair_hits + r.pair_misses > 0 then
+      Printf.sprintf "; pairs: %d reused, %d re-decided" r.pair_hits
+        r.pairs_redecided
+    else "")
     (if r.per_procedure = [] then "-"
      else
        String.concat ", "

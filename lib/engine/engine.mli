@@ -23,13 +23,17 @@ type ('sys, 'ev) t
 val create :
   ?cache_capacity:int ->
   ?budget:Budget.t ->
+  ?stats:Stats.t ->
   fingerprint:('sys -> string) ->
   ('sys, 'ev) Checker.t list ->
   ('sys, 'ev) t
 (** [cache_capacity] defaults to [1024]; [0] (or negative) disables the
     verdict cache. [budget] (default {!Budget.unlimited}) applies to
-    every decision that does not pass its own. Raises [Invalid_argument]
-    on an empty checker list. *)
+    every decision that does not pass its own. [stats] (default a fresh
+    instance) lets checkers that record into a stats sink of their own —
+    e.g. a pair-cache-consulting Proposition 2 stage — share one
+    instance with the engine, so batch reports see their counters.
+    Raises [Invalid_argument] on an empty checker list. *)
 
 val checkers : ('sys, 'ev) t -> ('sys, 'ev) Checker.t list
 
@@ -69,6 +73,11 @@ type batch_report = {
   batch_dedup_hits : int;  (** Duplicates folded within this batch. *)
   cache_hits : int;  (** Served by the engine's LRU cache. *)
   cache_misses : int;  (** Full pipeline runs. *)
+  pair_hits : int;
+      (** Pair verdicts served from the pair-fingerprint cache during
+          this batch (multi-transaction systems only; [0] otherwise). *)
+  pair_misses : int;  (** Pair-cache lookups that missed. *)
+  pairs_redecided : int;  (** Pair pipeline runs forced by those misses. *)
   batch_seconds : float;  (** Wall-clock seconds for the whole batch. *)
   jobs : int;  (** Domain count the batch ran with ([1] = sequential). *)
   per_procedure : (string * int) list;

@@ -35,6 +35,9 @@ type t = {
   cache_hits_c : M.counter;
   cache_misses_c : M.counter;
   unknowns_c : M.counter;
+  pair_hits_c : M.counter;
+  pair_misses_c : M.counter;
+  pairs_redecided_c : M.counter;
   tbl : (string, handles) Hashtbl.t;
   mutable order : string list;  (* reversed first-seen order *)
   lock : Mutex.t;
@@ -56,6 +59,15 @@ let create ?registry () =
     unknowns_c =
       R.counter reg ~help:"Decisions that ended Unknown"
         "distlock_engine_unknowns_total";
+    pair_hits_c =
+      R.counter reg ~help:"Pair verdicts served from the pair-fingerprint cache"
+        "distlock_engine_pair_hits_total";
+    pair_misses_c =
+      R.counter reg ~help:"Pair-fingerprint cache lookups that missed"
+        "distlock_engine_pair_misses_total";
+    pairs_redecided_c =
+      R.counter reg ~help:"Pair pipeline runs forced by a pair-cache miss"
+        "distlock_engine_pairs_redecided_total";
     tbl = Hashtbl.create 8;
     order = [];
     lock = Mutex.create ();
@@ -129,6 +141,11 @@ let record_decision t ~cached ~unknown =
 
 let record_cache_miss t = M.incr t.cache_misses_c
 
+let record_pair_lookup t ~hit =
+  M.incr (if hit then t.pair_hits_c else t.pair_misses_c)
+
+let record_pair_redecided t = M.incr t.pairs_redecided_c
+
 let decisions t = M.counter_value t.decisions_c
 
 let cache_hits t = M.counter_value t.cache_hits_c
@@ -136,6 +153,12 @@ let cache_hits t = M.counter_value t.cache_hits_c
 let cache_misses t = M.counter_value t.cache_misses_c
 
 let unknowns t = M.counter_value t.unknowns_c
+
+let pair_hits t = M.counter_value t.pair_hits_c
+
+let pair_misses t = M.counter_value t.pair_misses_c
+
+let pairs_redecided t = M.counter_value t.pairs_redecided_c
 
 let hit_rate t =
   let d = decisions t in
@@ -179,6 +202,12 @@ let pp ppf t =
      %.1f%%@,"
     (decisions t) (unknowns t) (cache_hits t) (cache_misses t)
     (100. *. hit_rate t);
+  (* The pair-cache line appears only once the pair store has been
+     consulted, so pair-free pipelines print exactly as before. *)
+  if pair_hits t + pair_misses t > 0 then
+    Format.fprintf ppf
+      "pair cache: %d hit(s), %d miss(es), %d pair(s) re-decided@,"
+      (pair_hits t) (pair_misses t) (pairs_redecided t);
   (match stages t with
   | [] -> Format.fprintf ppf "(no stage activity)"
   | stages ->

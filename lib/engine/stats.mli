@@ -42,6 +42,15 @@ val record_decision : t -> cached:bool -> unknown:bool -> unit
 
 val record_cache_miss : t -> unit
 
+val record_pair_lookup : t -> hit:bool -> unit
+(** One lookup in a pair-fingerprint verdict store (the pair-granular
+    cache behind Proposition 2 and [decide_delta]). *)
+
+val record_pair_redecided : t -> unit
+(** The pair pipeline actually ran for one pair (always follows a miss;
+    a lookup whose pipeline run ends [Unknown] is a miss that is {e not}
+    re-decided, since nothing cacheable was produced). *)
+
 val decisions : t -> int
 
 val cache_hits : t -> int
@@ -49,6 +58,12 @@ val cache_hits : t -> int
 val cache_misses : t -> int
 
 val unknowns : t -> int
+
+val pair_hits : t -> int
+
+val pair_misses : t -> int
+
+val pairs_redecided : t -> int
 
 val hit_rate : t -> float
 (** [cache_hits / decisions]; [0.] before any decision. *)

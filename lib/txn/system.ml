@@ -49,48 +49,53 @@ let sites_used t =
     t.txns;
   List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) seen [])
 
-let fingerprint t =
-  let buf = Buffer.create 512 in
-  let add = Buffer.add_string buf in
-  (* Names are length-prefixed so no choice of entity or transaction
-     names can make two different systems serialize identically. *)
-  let add_name s =
-    add (string_of_int (String.length s));
-    add ":";
-    add s
-  in
+(* Entity names are length-prefixed so no choice of names can make two
+   different databases serialize identically. *)
+let add_entities buf db es =
   List.iter
     (fun e ->
-      add_name (Database.name t.db e);
-      add "@";
-      add (string_of_int (Database.site t.db e));
-      add ";")
-    (Database.entities t.db);
+      let n = Database.name db e in
+      Buffer.add_string buf (string_of_int (String.length n));
+      Buffer.add_string buf ":";
+      Buffer.add_string buf n;
+      Buffer.add_string buf "@";
+      Buffer.add_string buf (string_of_int (Database.site db e));
+      Buffer.add_string buf ";")
+    es
+
+(* System and pair fingerprints are digests over per-transaction digests
+   ({!Txn.fingerprint}) plus the relevant slice of the stored-at
+   function, so all three levels agree on what a transaction's identity
+   is and the pair digest is invariant under any change to transactions
+   outside the pair. *)
+let fingerprint t =
+  let buf = Buffer.create 512 in
+  add_entities buf t.db (Database.entities t.db);
   Array.iter
     (fun txn ->
-      add "|";
-      add_name (Txn.name txn);
-      add ":";
-      Array.iter
-        (fun (s : Step.t) ->
-          add
-            (match s.Step.action with
-            | Step.Lock -> "L"
-            | Step.Unlock -> "U"
-            | Step.Update -> "u");
-          add (string_of_int s.Step.entity);
-          add ",")
-        (Txn.steps txn);
-      add "#";
-      List.iter
-        (fun (a, b) ->
-          add (string_of_int a);
-          add "<";
-          add (string_of_int b);
-          add ";")
-        (List.sort compare (Distlock_order.Poset.relation (Txn.order txn))))
+      Buffer.add_string buf "|";
+      Buffer.add_string buf (Txn.fingerprint txn))
     t.txns;
   Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let pair_fingerprint_with ~fp t i j =
+  if i = j then invalid_arg "System.pair_fingerprint: equal indices";
+  let a = fp i and b = fp j in
+  let lo, hi = if a <= b then (a, b) else (b, a) in
+  let touched =
+    List.sort_uniq compare
+      (Txn.touched_entities t.txns.(i) @ Txn.touched_entities t.txns.(j))
+  in
+  let buf = Buffer.create 160 in
+  add_entities buf t.db touched;
+  Buffer.add_string buf "|";
+  Buffer.add_string buf lo;
+  Buffer.add_string buf "|";
+  Buffer.add_string buf hi;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let pair_fingerprint t =
+  pair_fingerprint_with ~fp:(fun i -> Txn.fingerprint t.txns.(i)) t
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%a@,%a@]" Database.pp t.db

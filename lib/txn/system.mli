@@ -37,10 +37,28 @@ val sites_used : t -> int list
 val fingerprint : t -> string
 (** A canonical fingerprint (32-char hex digest) over everything a
     safety verdict depends on: the database (entity names and their
-    stored-at sites, in id order) and, per transaction, its name, step
-    list, and full step partial order. Two systems with equal
-    fingerprints get the same verdict, so the digest keys the engine's
-    verdict cache; any perturbation — moving an entity to another site,
-    adding or removing a precedence — changes it. *)
+    stored-at sites, in id order) and one {!Txn.fingerprint} per
+    transaction, in system order. Two systems with equal fingerprints
+    get the same verdict, so the digest keys the engine's verdict
+    cache; any perturbation — moving an entity to another site, adding
+    or removing a precedence — changes it. *)
+
+val pair_fingerprint : t -> int -> int -> string
+(** [pair_fingerprint t i j] is a canonical fingerprint of the
+    two-transaction subsystem [{Ti, Tj}]: the sites of the entities the
+    two transactions touch plus their two {!Txn.fingerprint}s, combined
+    order-canonically so [pair_fingerprint t i j =
+    pair_fingerprint t j i]. It depends on nothing else — reordering,
+    adding, removing, or editing {e other} transactions (or entities
+    neither touches) leaves it unchanged — so it keys pair-verdict
+    caches across edits of the enclosing system. Raises
+    [Invalid_argument] when [i = j]. *)
+
+val pair_fingerprint_with : fp:(int -> string) -> t -> int -> int -> string
+(** {!pair_fingerprint} with the per-transaction digests supplied by
+    [fp] (which must return [Txn.fingerprint (txn t i)] for index [i])
+    instead of recomputed — for callers that already hold them, e.g. an
+    incremental session re-keying O(n) pairs per edit. The result is
+    byte-identical to {!pair_fingerprint}. *)
 
 val pp : Format.formatter -> t -> unit

@@ -97,6 +97,39 @@ let along t ext =
 
 let is_total t = Poset.is_total t.order
 
+(* Canonical serialization backing [fingerprint]. The name is
+   length-prefixed so no choice of transaction names can make two
+   different transactions serialize identically; the order relation is
+   emitted sorted so the digest does not depend on insertion order. *)
+let serialize t =
+  let buf = Buffer.create 128 in
+  let add = Buffer.add_string buf in
+  add (string_of_int (String.length t.name));
+  add ":";
+  add t.name;
+  add ":";
+  Array.iter
+    (fun (s : Step.t) ->
+      add
+        (match s.Step.action with
+        | Step.Lock -> "L"
+        | Step.Unlock -> "U"
+        | Step.Update -> "u");
+      add (string_of_int s.Step.entity);
+      add ",")
+    t.steps;
+  add "#";
+  List.iter
+    (fun (a, b) ->
+      add (string_of_int a);
+      add "<";
+      add (string_of_int b);
+      add ";")
+    (List.sort compare (Poset.relation t.order));
+  Buffer.contents buf
+
+let fingerprint t = Digest.to_hex (Digest.string (serialize t))
+
 let pp db ppf t =
   Format.fprintf ppf "@[<v>%s (%d steps):@," t.name (num_steps t);
   Array.iteri

@@ -42,7 +42,8 @@ def check_json(path):
             check_outcome(o, f"results[{i}]")
         need(data["report"],
              ["submitted", "unique", "batch_dedup_hits", "cache_hits",
-              "cache_misses", "hit_rate", "seconds", "jobs", "per_procedure"],
+              "cache_misses", "pair_hits", "pair_misses", "pairs_redecided",
+              "hit_rate", "seconds", "jobs", "per_procedure"],
              "report")
         if not (isinstance(data["report"]["jobs"], int)
                 and data["report"]["jobs"] >= 1):
@@ -120,6 +121,8 @@ def check_bench(path):
             check_e15(e)
         if e["id"] == "E16":
             check_e16(e)
+        if e["id"] == "E17":
+            check_e17(e)
 
 
 def check_e15(e):
@@ -166,6 +169,33 @@ def check_e16(e):
             "below the 10x bar")
     if m["jobs_verdicts_agree"] is not True:
         die("E16: jobs:1 and jobs:4 verdicts disagree")
+
+
+def check_e17(e):
+    """The incremental-session artifact: for each corpus size the warm
+    session must beat from-scratch decides by at least 10x at the
+    median, agree with them on every step, and re-run at most 2n-3
+    pairs per single-transaction edit."""
+    m = e["metrics"]
+    need(e["params"], ["edits_per_size"], "E17.params")
+    for n in (64, 128):
+        need(m, [f"n{n}_delta_median_seconds", f"n{n}_scratch_median_seconds",
+                 f"n{n}_speedup", f"n{n}_max_pairs_redecided",
+                 f"n{n}_pair_bound", f"n{n}_verdicts_agree"], "E17.metrics")
+        if m[f"n{n}_delta_median_seconds"] <= 0:
+            die(f"E17: n{n}_delta_median_seconds not positive")
+        if m[f"n{n}_verdicts_agree"] is not True:
+            die(f"E17: n={n}: decide_delta disagrees with from-scratch")
+        if m[f"n{n}_pair_bound"] != 2 * n - 3:
+            die(f"E17: n={n}: pair bound is {m[f'n{n}_pair_bound']}, "
+                f"expected {2 * n - 3}")
+        if m[f"n{n}_max_pairs_redecided"] > m[f"n{n}_pair_bound"]:
+            die(f"E17: n={n}: re-decided {m[f'n{n}_max_pairs_redecided']} "
+                f"pairs in one edit, above the 2n-3 bound "
+                f"{m[f'n{n}_pair_bound']}")
+        if m[f"n{n}_speedup"] < 10:
+            die(f"E17: n={n}: warm-cache speedup {m[f'n{n}_speedup']:.1f}x "
+                "below the 10x bar")
 
 
 def main():

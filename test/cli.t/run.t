@@ -219,6 +219,9 @@ every engine stage span carries its checker and verdict attributes:
   # TYPE distlock_engine_cache_hits_total counter
   # TYPE distlock_engine_cache_misses_total counter
   # TYPE distlock_engine_decisions_total counter
+  # TYPE distlock_engine_pair_hits_total counter
+  # TYPE distlock_engine_pair_misses_total counter
+  # TYPE distlock_engine_pairs_redecided_total counter
   # TYPE distlock_engine_stage_seconds histogram
   # TYPE distlock_engine_stage_total counter
   # TYPE distlock_engine_unknowns_total counter
@@ -254,6 +257,40 @@ spans from the main domain:
   $ grep '"name":"engine.stage"' spans_par.jsonl | grep -vc '"domain":'
   0
   [1]
+
+Mutate decides a stream of edits of one system incrementally: the
+first file is the base, every later file is the system after one edit
+batch, diffed by transaction name and content. After an edit only the
+pairs incident to the mutated transactions re-run the pipeline; an
+edit that restores earlier content reuses everything. --verify
+cross-checks every step against a from-scratch decision:
+
+  $ ../../bin/distlock_cli.exe mutate --verify \
+  >   mutate_base.txt mutate_edit1.txt mutate_edit2.txt
+  mutate_base.txt: SAFE
+    edits: +3 -0 ~0; pairs: 0 reused, 3 re-decided; cycles: 0 reused, 2 re-judged
+  mutate_edit1.txt: UNSAFE — transactions T1 and T2 form an unsafe pair
+    edits: +0 -0 ~2; pairs: 0 reused, 1 re-decided; cycles: 0 reused, 0 re-judged
+  mutate_edit2.txt: SAFE
+    edits: +0 -0 ~2; pairs: 3 reused, 0 re-decided; cycles: 2 reused, 0 re-judged
+  [1]
+
+The JSON stream carries the per-step reuse counters; pair-cache
+traffic also lands in --metrics:
+
+  $ ../../bin/distlock_cli.exe mutate --json --metrics mutate.prom \
+  >   mutate_base.txt mutate_edit2.txt \
+  >   | grep -E '"(verdict|pairs_reused|pairs_redecided)"'
+        "verdict": "safe",
+        "pairs_reused": 0,
+        "pairs_redecided": 3,
+        "verdict": "safe",
+        "pairs_reused": 3,
+        "pairs_redecided": 0,
+  $ grep '^distlock_engine_pair' mutate.prom | sort
+  distlock_engine_pair_hits_total 3
+  distlock_engine_pair_misses_total 3
+  distlock_engine_pairs_redecided_total 3
 
 The simulator exports its full step event stream — committed and
 aborted attempts, with tick, site, entity, and attempt — as JSONL:

@@ -50,3 +50,15 @@ Every example runs to completion and reaches its headline conclusions.
   two-site test: UNSAFE
   conflicting entities: {orders}
   two-site test: SAFE
+
+  $ ../../examples/online_edits.exe
+  base (3 two-phase txns):     SAFE
+                               pairs: 0 reused, 3 re-decided; cycles: 0 reused, 2 re-judged
+  deploy loose fulfil:         UNSAFE — transactions restock and fulfil form an unsafe pair
+                               pairs: 0 reused, 1 re-decided; cycles: 0 reused, 0 re-judged
+  roll back:                   SAFE
+                               pairs: 3 reused, 0 re-decided; cycles: 2 reused, 0 re-judged
+  add report txn:              SAFE
+                               pairs: 3 reused, 2 re-decided; cycles: 2 reused, 4 re-judged
+  remove restock:              SAFE
+                               pairs: 3 reused, 0 re-decided; cycles: 2 reused, 0 re-judged

@@ -1,0 +1,358 @@
+(* The incremental session: Dyngraph maintenance, pair fingerprints,
+   and decide_delta agreement with from-scratch decisions under random
+   mutation scripts. *)
+
+open Distlock_txn
+open Distlock_core
+module E = Distlock_engine
+module G = Distlock_graph
+
+(* ------------------------------------------------------------------ *)
+(* Dyngraph *)
+
+let test_dyngraph_basic () =
+  let g = G.Dyngraph.create () in
+  Util.check_int "empty" 0 (G.Dyngraph.num_vertices g);
+  G.Dyngraph.add_vertex g "a";
+  G.Dyngraph.add_vertex g "b";
+  G.Dyngraph.add_vertex g "c";
+  G.Dyngraph.add_vertex g "a";
+  (* no-op *)
+  Util.check_int "vertices" 3 (G.Dyngraph.num_vertices g);
+  G.Dyngraph.add_edge g "a" "b";
+  G.Dyngraph.add_edge g "b" "a";
+  (* re-add, other orientation: still one edge *)
+  G.Dyngraph.add_edge g "b" "c";
+  Util.check_int "edges" 2 (G.Dyngraph.num_edges g);
+  Util.check "undirected" true (G.Dyngraph.has_edge g "c" "b");
+  Alcotest.(check (list string)) "neighbours sorted" [ "a"; "c" ]
+    (G.Dyngraph.neighbours g "b");
+  G.Dyngraph.remove_vertex g "b";
+  Util.check_int "incident edges dropped" 0 (G.Dyngraph.num_edges g);
+  Util.check "vertex gone" false (G.Dyngraph.has_vertex g "b");
+  Util.check "edge gone" false (G.Dyngraph.has_edge g "a" "b");
+  G.Dyngraph.remove_edge g "a" "c";
+  (* absent: no-op *)
+  Alcotest.check_raises "self-loop rejected"
+    (Invalid_argument "Dyngraph.add_edge: self-loop") (fun () ->
+      G.Dyngraph.add_edge g "a" "a")
+
+let test_dyngraph_snapshot () =
+  let g = G.Dyngraph.create () in
+  List.iter (G.Dyngraph.add_vertex g) [ "x"; "y"; "z" ];
+  G.Dyngraph.add_edge g "x" "y";
+  G.Dyngraph.add_edge g "y" "z";
+  let idx = function "x" -> 0 | "y" -> 1 | "z" -> 2 | _ -> assert false in
+  let d = G.Dyngraph.to_digraph g ~index_of:idx ~n:3 in
+  (* Both orientations of each undirected edge. *)
+  Util.check "x->y" true (G.Digraph.mem_arc d 0 1);
+  Util.check "y->x" true (G.Digraph.mem_arc d 1 0);
+  Util.check "y->z" true (G.Digraph.mem_arc d 1 2);
+  Util.check "no x->z" false (G.Digraph.mem_arc d 0 2)
+
+(* ------------------------------------------------------------------ *)
+(* Pair fingerprints *)
+
+let three_txn_db () =
+  let db = Database.create () in
+  Database.add_all db [ ("x", 1); ("y", 1); ("z", 2) ];
+  db
+
+let chained db name es = Builder.two_phase_sequence db ~name es
+
+let test_pair_fingerprint () =
+  let db = three_txn_db () in
+  let t1 = chained db "T1" [ "x"; "z" ] in
+  let t2 = chained db "T2" [ "y"; "z" ] in
+  let t3 = chained db "T3" [ "x"; "y" ] in
+  let sys = System.make db [ t1; t2; t3 ] in
+  Util.check "symmetric" true
+    (System.pair_fingerprint sys 0 1 = System.pair_fingerprint sys 1 0);
+  (* Invariant under reordering of unrelated transactions: the (T1,T2)
+     digest does not care where T3 sits, or what it contains. *)
+  let reordered = System.make db [ t3; t1; t2 ] in
+  Util.check "reorder-invariant" true
+    (System.pair_fingerprint sys 0 1 = System.pair_fingerprint reordered 1 2);
+  let t3' = chained db "T3" [ "y" ] in
+  let edited = System.make db [ t1; t2; t3' ] in
+  Util.check "edit-of-other-invariant" true
+    (System.pair_fingerprint sys 0 1 = System.pair_fingerprint edited 0 1);
+  (* ... but editing a member changes it. *)
+  let t2' = chained db "T2" [ "z"; "y" ] in
+  let changed = System.make db [ t1; t2'; t3 ] in
+  Util.check "member-edit-sensitive" false
+    (System.pair_fingerprint sys 0 1 = System.pair_fingerprint changed 0 1);
+  (* Distinct pairs get distinct digests. *)
+  Util.check "pairs distinct" false
+    (System.pair_fingerprint sys 0 1 = System.pair_fingerprint sys 0 2);
+  (* The fp-injected variant is byte-identical. *)
+  let fp i = Txn.fingerprint (System.txn sys i) in
+  Util.check "with-variant identical" true
+    (System.pair_fingerprint sys 0 2
+    = System.pair_fingerprint_with ~fp sys 0 2);
+  Alcotest.check_raises "equal indices"
+    (Invalid_argument "System.pair_fingerprint: equal indices") (fun () ->
+      ignore (System.pair_fingerprint sys 1 1))
+
+(* ------------------------------------------------------------------ *)
+(* Session mutations and reuse *)
+
+let loose db name es =
+  (* per-entity critical sections only — no cross-entity order *)
+  let steps =
+    List.concat_map
+      (fun e -> [ ("L" ^ e, `Lock e); ("U" ^ e, `Unlock e) ])
+      es
+  in
+  let arcs = List.map (fun e -> ("L" ^ e, "U" ^ e)) es in
+  Builder.make_exn db ~name ~steps ~arcs ()
+
+let test_session_reuse () =
+  let db = three_txn_db () in
+  let t1 = chained db "T1" [ "x"; "z" ] in
+  let t2 = chained db "T2" [ "y"; "z" ] in
+  let t3 = chained db "T3" [ "x"; "y" ] in
+  let s = Incremental.create db [ t1; t2; t3 ] in
+  let o1 = Incremental.decide_delta s in
+  Util.check "base safe" true (o1.Incremental.verdict = Incremental.Safe);
+  Util.check_int "base pairs all fresh" 3 o1.Incremental.pairs_redecided;
+  Util.check_int "base nothing reused" 0 o1.Incremental.pairs_reused;
+  (* Untouched re-decision: everything reused, nothing re-run. *)
+  let o2 = Incremental.decide_delta s in
+  Util.check_int "warm pairs reused" 3 o2.Incremental.pairs_reused;
+  Util.check_int "warm none re-decided" 0 o2.Incremental.pairs_redecided;
+  Util.check_int "warm cycles reused" o2.Incremental.cycles_total
+    o2.Incremental.cycles_reused;
+  (* Break the (T1,T2) pair: loose sections over two sites. *)
+  Incremental.replace_txn s "T1" (loose db "T1" [ "x"; "z" ]);
+  Incremental.replace_txn s "T2" (loose db "T2" [ "x"; "z" ]);
+  let o3 = Incremental.decide_delta s in
+  (match o3.Incremental.verdict with
+  | Incremental.Unsafe (Multisite.Unsafe_pair (i, j)) ->
+      let sys = Incremental.system s in
+      Util.check "witness pair really unsafe" false
+        (Safety.is_safe_exn (Multisite.pair_system sys i j))
+  | _ -> Alcotest.fail "expected an unsafe pair");
+  (* Restore the originals: every pair digest matches an earlier one. *)
+  Incremental.replace_txn s "T1" t1;
+  Incremental.replace_txn s "T2" t2;
+  let o4 = Incremental.decide_delta s in
+  Util.check "restored safe" true (o4.Incremental.verdict = Incremental.Safe);
+  Util.check_int "restore re-decides nothing" 0 o4.Incremental.pairs_redecided;
+  Util.check_int "restore re-judges nothing" 0 o4.Incremental.cycles_rejudged;
+  (* Removal shrinks the conflict graph. *)
+  Incremental.remove_txn s "T3";
+  Util.check_int "two left" 2 (Incremental.num_txns s);
+  let o5 = Incremental.decide_delta s in
+  Util.check_int "one pair left" 1 o5.Incremental.pairs_total;
+  Util.check_int "still cached" 1 o5.Incremental.pairs_reused
+
+let test_session_errors () =
+  let db = three_txn_db () in
+  let t1 = chained db "T1" [ "x"; "z" ] in
+  let s = Incremental.create db [ t1 ] in
+  let o = Incremental.decide_delta s in
+  Util.check "singleton safe" true (o.Incremental.verdict = Incremental.Safe);
+  Alcotest.check_raises "duplicate add"
+    (Invalid_argument "Incremental: duplicate transaction name T1")
+    (fun () -> Incremental.add_txn s t1);
+  Alcotest.check_raises "unknown remove"
+    (Invalid_argument "Incremental: unknown transaction T9") (fun () ->
+      Incremental.remove_txn s "T9");
+  Alcotest.check_raises "unknown replace"
+    (Invalid_argument "Incremental: unknown transaction T9") (fun () ->
+      Incremental.replace_txn s "T9" t1);
+  Incremental.remove_txn s "T1";
+  let o = Incremental.decide_delta s in
+  Util.check "empty safe" true (o.Incremental.verdict = Incremental.Safe);
+  Util.check_int "empty examines nothing" 0 o.Incremental.pairs_total
+
+(* ------------------------------------------------------------------ *)
+(* Budgeted cycle enumeration: typed exhaustion, never a hang *)
+
+let triangle_system () =
+  let db = three_txn_db () in
+  System.make db
+    [
+      chained db "T1" [ "x"; "z" ];
+      chained db "T2" [ "y"; "z" ];
+      chained db "T3" [ "x"; "y" ];
+    ]
+
+let test_exhaustion () =
+  let sys = triangle_system () in
+  let g = Multisite.conflict_graph sys in
+  (match Multisite.simple_cycles_bounded ~limit:2 g with
+  | Multisite.Cut { examined; limit } ->
+      Util.check_int "limit echoed" 2 limit;
+      Util.check "examined past limit" true (examined > limit)
+  | Multisite.Cycles _ -> Alcotest.fail "expected Cut at limit 2");
+  (match Multisite.simple_cycles_bounded ~limit:1_000_000 g with
+  | Multisite.Cycles cs -> Util.check "cycles found" true (cs <> [])
+  | Multisite.Cut _ -> Alcotest.fail "unexpected Cut");
+  (match Multisite.decide_bounded ~cycle_limit:2 sys with
+  | Multisite.Exhausted _ -> ()
+  | Multisite.Decided _ -> Alcotest.fail "expected Exhausted");
+  (* The session maps exhaustion to Unknown, not a hang or a crash. *)
+  let s = Incremental.of_system sys in
+  (match Incremental.decide_delta ~budget:(E.Budget.of_steps 2) s with
+  | { Incremental.verdict = Incremental.Unknown _; _ } -> ()
+  | _ -> Alcotest.fail "expected Unknown under a 2-step budget");
+  (* The engine stage turns the same exhaustion into an inconclusive
+     Pass — visible in the stage trace — and the pipeline still
+     terminates (here Unknown: the state-graph fallback is equally
+     starved by a 4-step budget). *)
+  let eng = Decision.create ~budget:(E.Budget.of_steps 4) () in
+  let o = Decision.decide eng sys in
+  (match o.E.Outcome.verdict with
+  | E.Outcome.Unknown _ -> ()
+  | _ -> Alcotest.fail "expected Unknown under a 4-step budget");
+  Util.check "multisite stage passes on exhaustion" true
+    (List.exists
+       (fun (s : E.Outcome.stage_trace) ->
+         s.E.Outcome.stage = "multisite"
+         && E.Outcome.status_label s.E.Outcome.status = "passed"
+         && String.length s.E.Outcome.detail >= 17
+         && String.sub s.E.Outcome.detail 0 17 = "cycle-enumeration")
+       o.E.Outcome.trace)
+
+(* ------------------------------------------------------------------ *)
+(* Property: decide_delta agrees with a from-scratch decision after
+   every step of a random mutation script, and unsafe witnesses are
+   valid. *)
+
+let entity_names = [ "a"; "b"; "c"; "d"; "e"; "f" ]
+
+let script_db () =
+  let db = Database.create () in
+  List.iteri
+    (fun i e -> ignore (Database.add db ~name:e ~site:(1 + (i mod 2))))
+    entity_names;
+  db
+
+let random_script_txn st db ~name =
+  let pool = Array.of_list (Database.entities db) in
+  let k = Array.length pool in
+  let e1 = Random.State.int st k in
+  let e2 = (e1 + 1 + Random.State.int st (k - 1)) mod k in
+  Txn_gen.random_txn st db ~name
+    ~entities:[ pool.(e1); pool.(e2) ]
+    ~cross_prob:(if Random.State.bool st then 1.0 else 0.3)
+    ()
+
+(* One random mutation script: a small base system, then a handful of
+   add / remove / replace steps, deciding (and cross-checking) after
+   the base and after every step. *)
+let run_script st =
+  let db = script_db () in
+  let n0 = 2 + Random.State.int st 3 in
+  let base =
+    List.init n0 (fun i ->
+        random_script_txn st db ~name:(Printf.sprintf "T%d" (i + 1)))
+  in
+  let s = Incremental.create db base in
+  let scratch =
+    Decision.create ~cache_capacity:0 ~pair_cache_capacity:0 ()
+  in
+  let next_name = ref (n0 + 1) in
+  let check_step step_label prev_safe =
+    let o = Incremental.decide_delta s in
+    let n = Incremental.num_txns s in
+    (* Single-edit pair bound — only meaningful when the previous
+       decision ran to completion (an unsafe short-circuit leaves
+       skipped pairs undecided for the next call to pick up). *)
+    if prev_safe && n >= 2 then
+      Util.check
+        (step_label ^ ": pairs re-decided within 2n-3")
+        true
+        (o.Incremental.pairs_redecided <= (2 * n) - 3);
+    (match o.Incremental.verdict with
+    | Incremental.Unsafe (Multisite.Unsafe_pair (i, j)) ->
+        let sys = Incremental.system s in
+        Util.check (step_label ^ ": unsafe-pair witness valid") false
+          (Safety.is_safe_exn (Multisite.pair_system sys i j))
+    | Incremental.Unsafe (Multisite.Acyclic_bc cycle) ->
+        let sys = Incremental.system s in
+        Util.check
+          (step_label ^ ": B_c witness acyclic")
+          true
+          (G.Topo.is_acyclic (Multisite.b_cycle_graph sys cycle));
+        List.iteri
+          (fun k i ->
+            let j = List.nth cycle ((k + 1) mod List.length cycle) in
+            Util.check
+              (step_label ^ ": witness cycle arcs conflict")
+              true
+              (System.common_locked sys i j <> []))
+          cycle
+    | Incremental.Safe | Incremental.Unknown _ -> ());
+    let expected =
+      if Incremental.num_txns s = 0 then "safe"
+      else
+        let fresh = Decision.decide scratch (Incremental.system s) in
+        match fresh.E.Outcome.verdict with
+        | E.Outcome.Safe -> "safe"
+        | E.Outcome.Unsafe _ -> "unsafe"
+        | E.Outcome.Unknown _ -> "unknown"
+    in
+    let got =
+      match o.Incremental.verdict with
+      | Incremental.Safe -> "safe"
+      | Incremental.Unsafe _ -> "unsafe"
+      | Incremental.Unknown _ -> "unknown"
+    in
+    Alcotest.(check string) (step_label ^ ": agrees with scratch") expected
+      got;
+    got = "safe"
+  in
+  let prev = ref (check_step "base" false) in
+  for step = 1 to 4 do
+    let names = Incremental.txn_names s in
+    let n = List.length names in
+    let label = Printf.sprintf "step %d" step in
+    (match Random.State.int st 3 with
+    | 0 ->
+        let name = Printf.sprintf "T%d" !next_name in
+        incr next_name;
+        Incremental.add_txn s (random_script_txn st db ~name)
+    | 1 when n > 0 ->
+        Incremental.remove_txn s (List.nth names (Random.State.int st n))
+    | _ when n > 0 ->
+        let name = List.nth names (Random.State.int st n) in
+        Incremental.replace_txn s name (random_script_txn st db ~name)
+    | _ ->
+        let name = Printf.sprintf "T%d" !next_name in
+        incr next_name;
+        Incremental.add_txn s (random_script_txn st db ~name));
+    prev := check_step label !prev
+  done;
+  true
+
+let prop_mutation_scripts =
+  Util.qtest ~count:1000 "decide_delta agrees with from-scratch after every edit"
+    (Util.gen_with_state run_script)
+    Fun.id
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "dyngraph",
+        [
+          Alcotest.test_case "basic" `Quick test_dyngraph_basic;
+          Alcotest.test_case "snapshot" `Quick test_dyngraph_snapshot;
+        ] );
+      ( "fingerprint",
+        [ Alcotest.test_case "pair fingerprints" `Quick test_pair_fingerprint ]
+      );
+      ( "session",
+        [
+          Alcotest.test_case "reuse across edits" `Quick test_session_reuse;
+          Alcotest.test_case "errors and degenerate sizes" `Quick
+            test_session_errors;
+          Alcotest.test_case "budgeted cycle enumeration" `Quick
+            test_exhaustion;
+        ] );
+      ("mutation scripts", [ prop_mutation_scripts ]);
+    ]
