@@ -937,6 +937,74 @@ let e17 () =
     [ 64; 128 ]
 
 (* ------------------------------------------------------------------ *)
+(* E18: flight-recorder overhead — no-op sink vs recorder-only vs the
+   full export stack (JSONL to the null device + Chrome-trace collector
+   + recorder, teed). The recorder is on by default in the CLI, so its
+   overhead budget (< 5% median vs no-op) is an acceptance gate. *)
+
+let e18 () =
+  rule "E18 (obs): flight-recorder overhead on the E14 batch workload";
+  let module Obs = Distlock_obs.Obs in
+  let module Sink = Distlock_obs.Sink in
+  let rng = Random.State.make [| 13 |] in
+  let pool =
+    Array.of_list
+      (List.init 10 (fun i ->
+           Txn_gen.random_pair_system rng
+             ~num_shared:(2 + (i mod 3))
+             ~num_private:1
+             ~num_sites:(2 + (i mod 2))
+             ~cross_prob:0.5 ()))
+  in
+  let queries =
+    List.init 400 (fun _ -> pool.(Random.State.int rng (Array.length pool)))
+  in
+  let n = List.length queries in
+  let run_once () =
+    let eng = Decision.create () in
+    ignore (Decision.decide_batch eng queries)
+  in
+  (* median of [reps] runs, first run as warm-up; more reps than E14
+     because the effect measured here is small *)
+  let median_time () =
+    run_once ();
+    let reps = 9 in
+    let ts =
+      List.sort compare (List.init reps (fun _ -> snd (time run_once)))
+    in
+    List.nth ts (reps / 2)
+  in
+  let t_noop = median_time () in
+  let recorder = Distlock_obs.Recorder.create () in
+  Obs.set_sink (Distlock_obs.Recorder.sink recorder);
+  let t_recorder = median_time () in
+  let oc = open_out Filename.null in
+  let chrome_sink, _render = Distlock_obs.Trace_export.collector () in
+  Obs.set_sink
+    (Sink.tee
+       (Sink.tee (Distlock_obs.Recorder.sink recorder) (Sink.jsonl oc))
+       chrome_sink);
+  let t_full = median_time () in
+  Obs.set_sink Sink.noop;
+  close_out oc;
+  let per_decision t = t /. float_of_int n *. 1e6 in
+  let ratio t = t /. Float.max 1e-9 t_noop in
+  pf "batch of %d decisions (median of 9):\n" n;
+  pf "no-op sink:      %8.2f ms  (%6.2f us/decision)\n" (ms t_noop)
+    (per_decision t_noop);
+  pf "recorder only:   %8.2f ms  (%6.2f us/decision)  overhead: %.3fx\n"
+    (ms t_recorder) (per_decision t_recorder) (ratio t_recorder);
+  pf "full export:     %8.2f ms  (%6.2f us/decision)  overhead: %.3fx\n"
+    (ms t_full) (per_decision t_full) (ratio t_full);
+  param_i "queries" n;
+  param_s "full_stack" "recorder + jsonl(null) + chrome collector";
+  metric_f "noop_seconds" t_noop;
+  metric_f "recorder_seconds" t_recorder;
+  metric_f "full_seconds" t_full;
+  metric_f "recorder_overhead_ratio" (ratio t_recorder);
+  metric_f "full_overhead_ratio" (ratio t_full)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks *)
 
 let bechamel_benches () =
@@ -1033,7 +1101,31 @@ let experiments =
   [ ("E1", e1); ("E2", e2); ("E2b", e2b); ("E3", e3); ("E4", e4);
     ("E5", e5); ("E6", e6); ("E7", e7); ("E8", e8); ("E8b", e8b);
     ("E8c", e8c); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
-    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17) ]
+    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
+    ("E18", e18) ]
+
+(* Host metadata, so an archived BENCH_results.json says what machine
+   and build produced it. *)
+let host_json () =
+  let git_describe =
+    try
+      let ic =
+        Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+      in
+      let line = try input_line ic with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ -> "unknown"
+    with _ -> "unknown"
+  in
+  J.Obj
+    [
+      ("cpu_count", J.Int (Domain.recommended_domain_count ()));
+      ("ocaml_version", J.Str Sys.ocaml_version);
+      ("os_type", J.Str Sys.os_type);
+      ("word_size", J.Int Sys.word_size);
+      ("git_describe", J.Str git_describe);
+    ]
 
 let usage () =
   prerr_endline
@@ -1103,7 +1195,8 @@ let () =
          (J.Obj
             [
               ("harness", J.Str "distlock-bench");
-              ("version", J.Str "1.5.0");
+              ("version", J.Str "1.6.0");
+              ("host", host_json ());
               ("experiments", J.List records);
             ]));
     output_char oc '\n';

@@ -66,16 +66,47 @@ let dump_metrics path =
   Format.pp_print_flush ppf ();
   close_out oc
 
-let setup_obs span_trace metrics level =
+(* The flight recorder rides along on every invocation: a bounded ring
+   of the most recent spans/events, dumped to stderr (with a Gc snapshot
+   and the current counter/histogram values) when a decision ends
+   Unknown or a --verify cross-check diverges. Cheap enough to leave on;
+   bench E18 measures the overhead. *)
+let install_recorder () =
+  let r = Distlock_obs.Recorder.create () in
+  Distlock_obs.Recorder.set_registries r (fun () ->
+      ("global", Obs.global)
+      :: List.map
+           (fun e -> ("engine", E.Stats.registry (Decision.stats e)))
+           !metric_engines
+      @ List.map (fun s -> ("session", E.Stats.registry s)) !metric_stats);
+  Distlock_obs.Recorder.set_global (Some r);
+  Distlock_obs.Recorder.sink r
+
+let setup_obs span_trace chrome metrics level =
   Obs.set_level level;
+  let sinks = ref [ install_recorder () ] in
   (match span_trace with
   | None -> ()
   | Some path ->
       let oc = open_out path in
-      Obs.set_sink (Distlock_obs.Sink.jsonl oc);
+      sinks := Distlock_obs.Sink.jsonl oc :: !sinks;
       at_exit (fun () ->
         Obs.flush ();
         close_out oc));
+  (match chrome with
+  | None -> ()
+  | Some path ->
+      let sink, render = Distlock_obs.Trace_export.collector () in
+      sinks := sink :: !sinks;
+      at_exit (fun () ->
+        Obs.flush ();
+        let oc = open_out path in
+        render oc;
+        close_out oc));
+  (match !sinks with
+  | [] -> ()
+  | s :: rest ->
+      Obs.set_sink (List.fold_left Distlock_obs.Sink.tee s rest));
   match metrics with
   | None -> ()
   | Some path -> at_exit (fun () -> dump_metrics path)
@@ -103,6 +134,16 @@ let log_level_arg =
           "Event verbosity for $(b,--trace): $(docv) is error, warn, \
            info, or debug (debug adds per-lock traffic)")
 
+let chrome_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome-trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the span/event stream as a Chrome trace-event JSON file \
+           to $(docv) — open it in chrome://tracing or Perfetto; one \
+           thread track per OCaml domain")
+
 (* Full setup: --trace carries structured spans/events as JSON Lines. *)
 let obs_setup =
   let span_trace =
@@ -114,11 +155,14 @@ let obs_setup =
             "Write structured spans and events (engine pipeline stages, \
              simulator lifecycle) as JSON Lines to $(docv)")
   in
-  Term.(const setup_obs $ span_trace $ metrics_arg $ log_level_arg)
+  Term.(const setup_obs $ span_trace $ chrome_trace_arg $ metrics_arg
+        $ log_level_arg)
 
-(* Reduced setup for `simulate`, which owns the --trace flag. *)
+(* Reduced setup for `simulate`, which owns the --trace flag (the step
+   stream) but still exports its spans via --chrome-trace. *)
 let obs_setup_no_trace =
-  Term.(const setup_obs $ const None $ metrics_arg $ log_level_arg)
+  Term.(const setup_obs $ const None $ chrome_trace_arg $ metrics_arg
+        $ log_level_arg)
 
 let print_stats (o : Decision.evidence E.Outcome.t) =
   Format.printf "--@.procedure: %s%s@." (E.Outcome.provenance o)
@@ -166,7 +210,7 @@ let exit_code (o : _ E.Outcome.t) =
 (* --json rendering: verdict, deciding procedure, stage trace, timings —
    machine-readable so CI stops parsing the pretty output. *)
 
-let json_of_outcome ?file sys (o : Decision.evidence E.Outcome.t) =
+let json_of_outcome ?file ?explain sys (o : Decision.evidence E.Outcome.t) =
   let verdict =
     match o.E.Outcome.verdict with
     | E.Outcome.Safe -> "safe"
@@ -189,13 +233,18 @@ let json_of_outcome ?file sys (o : Decision.evidence E.Outcome.t) =
   in
   let stage (s : E.Outcome.stage_trace) =
     J.Obj
-      [
-        ("stage", J.Str s.E.Outcome.stage);
-        ("procedure", J.Str (E.Checker.procedure_label s.E.Outcome.procedure));
-        ("status", J.Str (E.Outcome.status_label s.E.Outcome.status));
-        ("detail", J.Str s.E.Outcome.detail);
-        ("seconds", J.Float s.E.Outcome.seconds);
-      ]
+      ([
+         ("stage", J.Str s.E.Outcome.stage);
+         ("procedure", J.Str (E.Checker.procedure_label s.E.Outcome.procedure));
+         ("status", J.Str (E.Outcome.status_label s.E.Outcome.status));
+         ("detail", J.Str s.E.Outcome.detail);
+         ("seconds", J.Float s.E.Outcome.seconds);
+       ]
+      (* Checker-reported measurements; absent (not empty) when a stage
+         reported none, so pre-existing outputs are byte-identical. *)
+      @
+      if s.E.Outcome.attrs = [] then []
+      else [ ("metrics", Distlock_obs.Attr.to_json s.E.Outcome.attrs) ])
   in
   J.Obj
     ((match file with Some f -> [ ("file", J.Str f) ] | None -> [])
@@ -207,7 +256,11 @@ let json_of_outcome ?file sys (o : Decision.evidence E.Outcome.t) =
         ("seconds", J.Float o.E.Outcome.seconds);
       ]
     @ schedule
-    @ [ ("stages", J.List (List.map stage o.E.Outcome.trace)) ])
+    @ [ ("stages", J.List (List.map stage o.E.Outcome.trace)) ]
+    @
+    match explain with
+    | None -> []
+    | Some ex -> [ ("explain", E.Explain.to_json ex) ])
 
 let json_of_report (r : E.Engine.batch_report) =
   J.Obj
@@ -276,8 +329,19 @@ let run_oracle sys which =
         name examined limit;
       3
 
+let explain_flag =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Emit the full decision-provenance record: every pipeline \
+           stage with status and timing (including inapplicable and \
+           not-reached stages), cache and pair-cache disposition, and \
+           state-graph oracle statistics. With $(b,--json), embedded as \
+           an $(i,explain) object")
+
 let check_cmd =
-  let run () file oracle stats json =
+  let run () file oracle budget explain stats json =
     let sys = load_system file in
     (match System.validate sys with
     | [] -> ()
@@ -290,12 +354,20 @@ let check_cmd =
     match oracle with
     | Some which -> exit (run_oracle sys which)
     | None ->
+        let budget = Option.map E.Budget.of_steps budget in
+        let eng = Lazy.force engine in
+        let o = Decision.decide ?budget eng sys in
+        let ex = if explain then Some (Decision.explain eng sys o) else None in
         if json then begin
-          let o = Decision.decide (Lazy.force engine) sys in
-          print_endline (J.to_string_pretty (json_of_outcome ~file sys o));
+          print_endline
+            (J.to_string_pretty (json_of_outcome ~file ?explain:ex sys o));
           exit (exit_code o)
         end
-        else exit (print_verdict ~stats sys)
+        else begin
+          let code = print_outcome ~stats sys o in
+          Option.iter (fun ex -> Format.printf "--@.%a@." E.Explain.pp ex) ex;
+          exit code
+        end
   in
   let oracle =
     Arg.(
@@ -313,12 +385,21 @@ let check_cmd =
              (legal-schedule enumeration), or $(b,extensions) (Lemma 1 \
              over all extension pairs; two-transaction systems only)")
   in
+  let budget =
+    Arg.(
+      value & opt (some int) None
+      & info [ "budget" ]
+          ~doc:"Step budget for the decision (caps the exhaustive stages)"
+          ~docv:"STEPS")
+  in
   Cmd.v
     (Cmd.info "check" ~doc:"Decide safety of a locked transaction system")
-    Term.(const run $ obs_setup $ file_arg $ oracle $ stats_flag $ json_flag)
+    Term.(
+      const run $ obs_setup $ file_arg $ oracle $ budget $ explain_flag
+      $ stats_flag $ json_flag)
 
 let batch_cmd =
-  let run () files repeat no_cache budget jobs stats json =
+  let run () files repeat no_cache budget jobs explain stats json =
     if jobs < 1 then begin
       Printf.eprintf "distlock: --jobs must be >= 1\n";
       exit 2
@@ -340,6 +421,9 @@ let batch_cmd =
     let outcomes, report =
       Decision.decide_batch ~jobs eng (List.map snd named)
     in
+    let explain_of sys o =
+      if explain then Some (Decision.explain eng sys o) else None
+    in
     if json then
       print_endline
         (J.to_string_pretty
@@ -348,7 +432,9 @@ let batch_cmd =
                 ( "results",
                   J.List
                     (List.map2
-                       (fun (file, sys) o -> json_of_outcome ~file sys o)
+                       (fun (file, sys) o ->
+                         json_of_outcome ~file ?explain:(explain_of sys o) sys
+                           o)
                        named outcomes) );
                 ("report", json_of_report report);
               ]))
@@ -365,7 +451,10 @@ let batch_cmd =
             | E.Outcome.Unknown msg -> "UNKNOWN — " ^ msg
           in
           Printf.printf "%s: %s%s\n" file line
-            (if o.E.Outcome.cached then " (cached)" else ""))
+            (if o.E.Outcome.cached then " (cached)" else "");
+          Option.iter
+            (fun ex -> Format.printf "%a@." E.Explain.pp ex)
+            (explain_of sys o))
         named outcomes;
       Format.printf "%a@." E.Engine.pp_batch_report report;
       if stats then Format.printf "%a@." E.Stats.pp (Decision.stats eng)
@@ -409,7 +498,7 @@ let batch_cmd =
           fingerprint deduplication and a hit-rate report")
     Term.(
       const run $ obs_setup $ files $ repeat $ no_cache $ budget $ jobs
-      $ stats_flag $ json_flag)
+      $ explain_flag $ stats_flag $ json_flag)
 
 (* `mutate` drives an incremental session over a stream of snapshots:
    the first FILE is the base system, every later FILE is the system
@@ -480,6 +569,16 @@ let mutate_cmd =
                 file
                 (verdict_label o.Incremental.verdict)
                 fresh_label;
+              (* A divergence is exactly what the flight recorder is
+                 for: dump the recent spans and counters before dying. *)
+              Distlock_obs.Recorder.anomaly
+                ~reason:
+                  (Printf.sprintf
+                     "mutate --verify divergence at %s: incremental %s vs \
+                      from-scratch %s"
+                     file
+                     (verdict_label o.Incremental.verdict)
+                     fresh_label);
               exit 4
             end
           end;
@@ -855,7 +954,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default
-          (Cmd.info "distlock" ~version:"1.5.0"
+          (Cmd.info "distlock" ~version:"1.6.0"
              ~doc:"Safety of distributed locked transactions (Kanellakis & \
                    Papadimitriou 1982)")
           [ advise_cmd; batch_cmd; check_cmd; analyze_cmd; dgraph_cmd;

@@ -80,25 +80,43 @@ let corollary2 =
       | None -> E.Checker.Pass "no dominator of D(T1,T2) closes"
       | exception Failure msg -> E.Checker.Error msg)
 
+(* Runs the oracle directly (not through [Brute.safe_by_states]) so the
+   collapse statistics survive: they ride out on an [Annotated] wrapper
+   and surface in [check --explain] and the stage span. *)
+let state_graph_result ~counterexample meter sys =
+  let limit = E.Budget.step_allowance meter ~default:2_000_000 in
+  let outcome, stats = Distlock_sched.Stategraph.decide ~limit sys in
+  let annotate exhausted result =
+    E.Checker.Annotated
+      ( [
+          Distlock_obs.Attr.int "states" stats.Stategraph.states;
+          Distlock_obs.Attr.int "dup_hits" stats.Stategraph.dup_hits;
+          Distlock_obs.Attr.bool "exhausted" exhausted;
+        ],
+        result )
+  in
+  match outcome with
+  | Stategraph.Safe ->
+      annotate false
+        (E.Checker.Safe
+           "state graph: no reachable execution is non-serializable")
+  | Stategraph.Unsafe h ->
+      annotate false
+        (E.Checker.Unsafe
+           ( "state graph: a reachable complete state has a cyclic conflict \
+              digraph",
+             counterexample h ))
+  | Stategraph.Exhausted { visited; limit } ->
+      annotate true
+        (E.Checker.Pass
+           (Printf.sprintf
+              "state budget exhausted after %d of %d allowed states" visited
+              limit))
+
 let state_graph =
   E.Checker.make ~name:"state-graph" ~procedure:E.Checker.State_graph
     ~cost:E.Checker.Exponential ~applicable:is_pair
-    ~run:(fun meter sys ->
-      let limit = E.Budget.step_allowance meter ~default:2_000_000 in
-      match Brute.safe_by_states ~limit sys with
-      | Brute.Safe ->
-          E.Checker.Safe
-            "state graph: no reachable execution is non-serializable"
-      | Brute.Unsafe h ->
-          E.Checker.Unsafe
-            ( "state graph: a reachable complete state has a cyclic \
-               conflict digraph",
-              Counterexample h )
-      | Brute.Exhausted { examined; limit } ->
-          E.Checker.Pass
-            (Printf.sprintf
-               "state budget exhausted after %d of %d allowed states"
-               examined limit))
+    ~run:(state_graph_result ~counterexample:(fun h -> Counterexample h))
 
 let lemma1 =
   E.Checker.make ~name:"exhaustive" ~procedure:E.Checker.Lemma_1

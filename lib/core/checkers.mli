@@ -49,3 +49,14 @@ val lemma1 : t
 val pair_checkers : t list
 (** The staged pipeline for two-transaction systems, in the order
     above. *)
+
+val state_graph_result :
+  counterexample:(Schedule.t -> 'ev) ->
+  Distlock_engine.Budget.meter ->
+  System.t ->
+  'ev Distlock_engine.Checker.stage_result
+(** Shared run function of the state-graph oracle stages (the pair stage
+    here and the multi-transaction fallback in [Decision]): runs
+    {!Distlock_sched.Stategraph.decide} under the meter's step allowance
+    and wraps the verdict in an [Annotated] carrying the collapse
+    statistics ([states], [dup_hits], [exhausted]). *)

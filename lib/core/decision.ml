@@ -24,6 +24,12 @@ let proposition2_with ?pair_cache ?stats () =
       let run_pair i j =
         Safety.is_safe_exn ~budget (Multisite.pair_system sys i j)
       in
+      (* Per-decision pair-cache traffic. The shared [stats] counters
+         are cumulative across the engine's whole lifetime; these local
+         refs meter this one decision, so the [Annotated] wrapper (and
+         through it [check --explain]) reports the traffic of the
+         decision being explained even mid-batch. *)
+      let hits = ref 0 and misses = ref 0 and redecided = ref 0 in
       let pair_safe =
         match pair_cache with
         | None -> run_pair
@@ -32,36 +38,53 @@ let proposition2_with ?pair_cache ?stats () =
               let fp = System.pair_fingerprint sys i j in
               match E.Lru_sharded.find cache fp with
               | Some safe ->
+                  incr hits;
                   Option.iter
                     (fun st -> E.Stats.record_pair_lookup st ~hit:true)
                     stats;
                   safe
               | None ->
+                  incr misses;
                   Option.iter
                     (fun st -> E.Stats.record_pair_lookup st ~hit:false)
                     stats;
                   let safe = run_pair i j in
+                  incr redecided;
                   Option.iter
                     (fun st -> E.Stats.record_pair_redecided st)
                     stats;
                   E.Lru_sharded.add cache fp safe;
                   safe)
       in
+      let annotate result =
+        if !hits + !misses = 0 then result
+        else
+          E.Checker.Annotated
+            ( [
+                Distlock_obs.Attr.int "pair_hits" !hits;
+                Distlock_obs.Attr.int "pair_misses" !misses;
+                Distlock_obs.Attr.int "pairs_redecided" !redecided;
+              ],
+              result )
+      in
       let cycle_limit = E.Budget.step_allowance meter ~default:2_000_000 in
       match Multisite.decide_with ~pair_safe ~cycle_limit sys with
       | Multisite.Decided Multisite.Safe ->
-          E.Checker.Safe
-            "Proposition 2: all conflicting pairs safe and every \
-             conflict-graph cycle has a cyclic B_c"
+          annotate
+            (E.Checker.Safe
+               "Proposition 2: all conflicting pairs safe and every \
+                conflict-graph cycle has a cyclic B_c")
       | Multisite.Decided (Multisite.Unsafe reason) ->
-          E.Checker.Unsafe
-            ("Proposition 2: unsafety witness found", Multi reason)
+          annotate
+            (E.Checker.Unsafe
+               ("Proposition 2: unsafety witness found", Multi reason))
       | Multisite.Exhausted { examined; limit } ->
-          E.Checker.Pass
-            (Printf.sprintf
-               "cycle-enumeration budget exhausted after %d of %d steps"
-               examined limit)
-      | exception Failure msg -> E.Checker.Error msg)
+          annotate
+            (E.Checker.Pass
+               (Printf.sprintf
+                  "cycle-enumeration budget exhausted after %d of %d steps"
+                  examined limit))
+      | exception Failure msg -> annotate (E.Checker.Error msg))
 
 let proposition2 = proposition2_with ()
 
@@ -73,22 +96,9 @@ let state_graph_multi =
   E.Checker.make ~name:"multi-state-graph" ~procedure:E.Checker.State_graph
     ~cost:E.Checker.Exponential
     ~applicable:(fun sys -> System.num_txns sys <> 2)
-    ~run:(fun meter sys ->
-      let limit = E.Budget.step_allowance meter ~default:2_000_000 in
-      match Brute.safe_by_states ~limit sys with
-      | Brute.Safe ->
-          E.Checker.Safe
-            "state graph: no reachable execution is non-serializable"
-      | Brute.Unsafe h ->
-          E.Checker.Unsafe
-            ( "state graph: a reachable complete state has a cyclic \
-               conflict digraph",
-              Pair (Checkers.Counterexample h) )
-      | Brute.Exhausted { examined; limit } ->
-          E.Checker.Pass
-            (Printf.sprintf
-               "state budget exhausted after %d of %d allowed states"
-               examined limit))
+    ~run:
+      (Checkers.state_graph_result ~counterexample:(fun h ->
+           Pair (Checkers.Counterexample h)))
 
 let checkers =
   List.map
@@ -116,6 +126,10 @@ let create ?(cache_capacity = 1024) ?(pair_cache_capacity = 4096) ?budget () =
 let decide ?budget t sys = E.Engine.decide ?budget t sys
 
 let decide_batch ?budget ?jobs t syss = E.Engine.decide_batch ?budget ?jobs t syss
+
+let explain t sys o = E.Engine.explain t sys o
+
+let decide_explained ?budget t sys = E.Engine.decide_explained ?budget t sys
 
 let stats = E.Engine.stats
 

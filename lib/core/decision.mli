@@ -74,6 +74,24 @@ val decide_batch :
     [jobs] (default [1]) fans distinct systems out to that many domains;
     outcomes and report totals are identical for every [jobs]. *)
 
+val explain :
+  t ->
+  System.t ->
+  evidence Distlock_engine.Outcome.t ->
+  Distlock_engine.Explain.t
+(** The typed provenance record for an outcome this engine produced:
+    every stage of the pipeline with status and timing (including
+    [inapplicable] / [not-reached] stages), cache and pair-cache
+    disposition, and state-graph oracle statistics when that stage ran.
+    Pure post-processing of the recorded trace. *)
+
+val decide_explained :
+  ?budget:Distlock_engine.Budget.t ->
+  t ->
+  System.t ->
+  evidence Distlock_engine.Outcome.t * Distlock_engine.Explain.t
+(** {!decide} followed by {!explain}. *)
+
 val stats : t -> Distlock_engine.Stats.t
 
 val describe_multi : System.t -> Multisite.unsafe_reason -> string

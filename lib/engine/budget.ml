@@ -20,18 +20,19 @@ let describe t =
   | None, Some s -> Printf.sprintf "%.3f s" s
   | Some n, Some s -> Printf.sprintf "%d steps, %.3f s" n s
 
-(* Deadlines are wall-clock ([Obs.now_s]), not process CPU time: with
-   several domains running, CPU time advances domain-count times faster
-   than the clock on the wall, which would expire deadlines early —
-   and a meter that outlives its stage must measure the wait, not the
-   burn. *)
+(* Deadlines are monotonic wall time ([Obs.mono_s]), not process CPU
+   time: with several domains running, CPU time advances domain-count
+   times faster than the clock on the wall, which would expire
+   deadlines early — and a meter that outlives its stage must measure
+   the wait, not the burn. Monotonic rather than [gettimeofday],
+   because an NTP step must not expire (or un-expire) a deadline. *)
 type meter = { spec : t; started : float }
 
-let start spec = { spec; started = Distlock_obs.Obs.now_s () }
+let start spec = { spec; started = Distlock_obs.Obs.mono_s () }
 
 let budget m = m.spec
 
-let elapsed m = Distlock_obs.Obs.now_s () -. m.started
+let elapsed m = Distlock_obs.Obs.mono_s () -. m.started
 
 (* [>=] so that [max_seconds = 0.] deterministically means "no time at
    all" regardless of clock granularity. *)

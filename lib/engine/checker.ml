@@ -32,6 +32,7 @@ type 'ev stage_result =
   | Unsafe of string * 'ev
   | Pass of string
   | Error of string
+  | Annotated of Distlock_obs.Attr.t * 'ev stage_result
 
 type ('sys, 'ev) t = {
   name : string;
@@ -44,14 +45,18 @@ type ('sys, 'ev) t = {
 let make ~name ~procedure ~cost ~applicable ~run =
   { name; procedure; cost; applicable; run }
 
+let rec map_result f = function
+  | Safe d -> Safe d
+  | Unsafe (d, ev) -> Unsafe (d, f ev)
+  | Pass d -> Pass d
+  | Error d -> Error d
+  | Annotated (a, r) -> Annotated (a, map_result f r)
+
 let map_evidence f c =
-  {
-    c with
-    run =
-      (fun meter sys ->
-        match c.run meter sys with
-        | Safe d -> Safe d
-        | Unsafe (d, ev) -> Unsafe (d, f ev)
-        | Pass d -> Pass d
-        | Error d -> Error d);
-  }
+  { c with run = (fun meter sys -> map_result f (c.run meter sys)) }
+
+let rec strip = function
+  | Annotated (attrs, r) ->
+      let attrs', r' = strip r in
+      (attrs @ attrs', r')
+  | r -> ([], r)

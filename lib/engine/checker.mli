@@ -44,6 +44,11 @@ type 'ev stage_result =
       (** The stage itself failed (budget exceeded, construction error).
           Recorded in the trace and surfaced in an [Unknown] verdict if no
           later stage decides — never silently masked. *)
+  | Annotated of Distlock_obs.Attr.t * 'ev stage_result
+      (** A result wrapped with measured attributes (states visited,
+          pair-cache traffic, …). The engine strips the wrapper and
+          attaches the attributes to the stage's trace entry and span,
+          where [check --explain] and the trace exporters surface them. *)
 
 type ('sys, 'ev) t = {
   name : string;
@@ -64,3 +69,7 @@ val make :
 val map_evidence : ('a -> 'b) -> ('sys, 'a) t -> ('sys, 'b) t
 (** Lift a checker into a wider evidence type (used to combine the
     two-transaction table with the many-transaction checker). *)
+
+val strip : 'ev stage_result -> Distlock_obs.Attr.t * 'ev stage_result
+(** Unwrap nested {!Annotated} layers: the collected attributes
+    (outermost first) and the underlying plain result. *)

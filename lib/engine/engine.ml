@@ -79,6 +79,13 @@ let run ?stats ?(budget = Budget.unlimited) checkers sys =
     (match stats with
     | None -> ()
     | Some st -> Stats.record_decision st ~cached:false ~unknown);
+    (* Anomaly hook: an undecided pipeline — stage errors, an exhausted
+       budget — is exactly what the flight recorder exists to explain.
+       No-op unless a global recorder is installed (the CLI installs
+       one; library tests that exercise Unknown on purpose do not). *)
+    if unknown then
+      Distlock_obs.Recorder.anomaly
+        ~reason:("engine decision ended Unknown: " ^ detail);
     {
       Outcome.verdict;
       procedure;
@@ -124,25 +131,30 @@ let run ?stats ?(budget = Budget.unlimited) checkers sys =
               status = Outcome.Skipped;
               detail = "budget deadline expired";
               seconds = 0.;
+              attrs = [];
             }
             false;
           go rest
         end
         else begin
           let sp = Obs.start_span "engine.stage" ~attrs:(stage_attrs c) in
-          (* Stage timing is wall-clock; the span also carries the CPU
-             time, which is the genuinely-CPU number (and, being
+          (* Stage timing is monotonic wall time; the span also carries
+             the CPU time, which is the genuinely-CPU number (and, being
              process-wide, can exceed the wall delta when other domains
              are busy — it is an attribute, not the trace timing). *)
-          let t0 = Obs.now_s () in
+          let t0 = Obs.mono_s () in
           let c0 = Obs.cpu_s () in
           let result =
             try c.Checker.run meter sys with
             | Failure msg -> Checker.Error msg
             | Invalid_argument msg -> Checker.Error ("invalid argument: " ^ msg)
           in
-          let dt = Obs.now_s () -. t0 in
+          let dt = Obs.mono_s () -. t0 in
           let dt_cpu = Obs.cpu_s () -. c0 in
+          (* Checkers report measurements (states visited, pair-cache
+             traffic, …) by wrapping their result in [Annotated]; the
+             attributes land on the trace entry and the stage span. *)
+          let stage_metrics, result = Checker.strip result in
           if Obs.enabled () then begin
             let status, verdict =
               match result with
@@ -150,12 +162,14 @@ let run ?stats ?(budget = Budget.unlimited) checkers sys =
               | Checker.Unsafe _ -> ("decided", "unsafe")
               | Checker.Pass _ -> ("passed", "none")
               | Checker.Error _ -> ("error", "none")
+              | Checker.Annotated _ -> assert false (* stripped above *)
             in
             Obs.add_attrs sp
-              [
-                A.str "status" status; A.str "verdict" verdict;
-                A.float "seconds" dt; A.float "cpu_seconds" dt_cpu;
-              ]
+              ([
+                 A.str "status" status; A.str "verdict" verdict;
+                 A.float "seconds" dt; A.float "cpu_seconds" dt_cpu;
+               ]
+              @ stage_metrics)
           end;
           Obs.end_span sp;
           let entry status detail =
@@ -165,6 +179,7 @@ let run ?stats ?(budget = Budget.unlimited) checkers sys =
               status;
               detail;
               seconds = dt;
+              attrs = stage_metrics;
             }
           in
           match result with
@@ -180,6 +195,7 @@ let run ?stats ?(budget = Budget.unlimited) checkers sys =
           | Checker.Error detail ->
               record (entry Outcome.Errored detail) false;
               go rest
+          | Checker.Annotated _ -> assert false (* stripped above *)
         end
   in
   go checkers
@@ -219,6 +235,14 @@ let decide ?budget t sys =
       | Some c, _ -> Lru_sharded.add c fp o
       | None, _ -> ());
       finish fp o
+
+let explain t sys (o : _ Outcome.t) =
+  Explain.of_outcome ~checkers:t.checkers ~fingerprint:(t.fingerprint sys) sys
+    o
+
+let decide_explained ?budget t sys =
+  let o = decide ?budget t sys in
+  (o, explain t sys o)
 
 type batch_report = {
   submitted : int;
@@ -269,7 +293,7 @@ let decide_batch ?budget ?(jobs = 1) t syss =
     Obs.start_span "engine.batch"
       ~attrs:(fun () -> [ A.int "submitted" submitted; A.int "jobs" jobs ])
   in
-  let t0 = Obs.now_s () in
+  let t0 = Obs.mono_s () in
   (* Pair-cache deltas over the batch: snapshot the engine's counters
      here and subtract on the way out. The counters are atomic, so with
      [jobs > 1] a concurrent user of the same stats could inflate the
@@ -350,7 +374,7 @@ let decide_batch ?budget ?(jobs = 1) t syss =
       pair_hits = Stats.pair_hits t.stats - ph0;
       pair_misses = Stats.pair_misses t.stats - pm0;
       pairs_redecided = Stats.pairs_redecided t.stats - pr0;
-      batch_seconds = Obs.now_s () -. t0;
+      batch_seconds = Obs.mono_s () -. t0;
       jobs;
       per_procedure = Tally.to_list tally;
     }

@@ -57,14 +57,26 @@ val run :
     [Unknown] carrying the aggregated stage errors.
 
     Reentrant: allocates no shared state, so the same checker list may
-    be run from several domains at once. Stage [seconds] are wall-clock
-    ({!Distlock_obs.Obs.now_s}); the per-stage span additionally carries
-    a [cpu_seconds] attribute ({!Distlock_obs.Obs.cpu_s}). *)
+    be run from several domains at once. Stage [seconds] are monotonic
+    wall time ({!Distlock_obs.Obs.mono_s}); the per-stage span
+    additionally carries a [cpu_seconds] attribute
+    ({!Distlock_obs.Obs.cpu_s}). *)
 
 val decide : ?budget:Budget.t -> ('sys, 'ev) t -> 'sys -> 'ev Outcome.t
 (** Fingerprint, consult the cache, run the pipeline on a miss, store
     decided outcomes. The returned outcome has [cached = true] on a
     hit. Safe to call concurrently from several domains. *)
+
+val explain : ('sys, 'ev) t -> 'sys -> 'ev Outcome.t -> Explain.t
+(** Assemble the typed provenance record ({!Explain.t}) for an outcome
+    this engine produced for [sys]: the full checker table with per-stage
+    statuses (including [inapplicable] and [not-reached]), cache
+    disposition, and oracle statistics. Pure post-processing — costs
+    nothing unless called. *)
+
+val decide_explained :
+  ?budget:Budget.t -> ('sys, 'ev) t -> 'sys -> 'ev Outcome.t * Explain.t
+(** {!decide} followed by {!explain} on the result. *)
 
 (** What happened to one batch. *)
 type batch_report = {

@@ -8,6 +8,7 @@ type stage_trace = {
   status : stage_status;
   detail : string;
   seconds : float;
+  attrs : Distlock_obs.Attr.t;
 }
 
 type 'ev t = {

@@ -18,7 +18,11 @@ type stage_trace = {
   procedure : Checker.procedure;
   status : stage_status;
   detail : string;
-  seconds : float;  (** Processor time spent in this stage. *)
+  seconds : float;  (** Wall (monotonic) time spent in this stage. *)
+  attrs : Distlock_obs.Attr.t;
+      (** Checker-reported measurements ({!Checker.Annotated}): states
+          visited, pair-cache traffic, budget exhaustion flags, … Empty
+          for stages that report none. *)
 }
 
 type 'ev t = {

@@ -38,12 +38,18 @@ let enabled () = not (Sink.is_noop (Atomic.get current_sink))
 
 let logs l = enabled () && level_rank l <= level_rank (Atomic.get current_level)
 
-(* The single clock helper for every duration the system reports:
-   span durations, stage timings, batch wall time. Process CPU time
-   ({!cpu_s}) stays available for the attributes that genuinely mean
-   CPU work — under several domains the two diverge, and mixing them
-   under-reports wall time (or over-reports it by the domain count). *)
+(* Two clocks, two jobs. [now_s] is the wall clock — the only clock
+   that can say *when* something happened, so it stamps [start_s] and
+   event times. [mono_s] is the monotonic clock — immune to NTP steps,
+   so it measures every duration the system reports: span durations,
+   stage timings, batch wall time (a wall-clock difference across a
+   clock step is negative or garbage). Process CPU time ({!cpu_s})
+   stays available for the attributes that genuinely mean CPU work —
+   under several domains the two diverge, and mixing them under-reports
+   wall time (or over-reports it by the domain count). *)
 let now_s () = Unix.gettimeofday ()
+
+external mono_s : unit -> float = "distlock_obs_mono_s"
 
 let cpu_s () = Sys.time ()
 
@@ -53,7 +59,8 @@ type ctx = {
   id : int;
   parent : int option;
   ctx_name : string;
-  start : float;
+  start : float;  (* wall clock: the span's [start_s] timestamp *)
+  start_mono : float;  (* monotonic: what [duration_s] is measured on *)
   mutable ctx_attrs : Attr.t;
   mutable closed : bool;
 }
@@ -84,6 +91,7 @@ let start_span ?attrs name =
         parent;
         ctx_name = name;
         start = now_s ();
+        start_mono = mono_s ();
         ctx_attrs =
           Attr.int "domain" (domain_id ())
           :: (match attrs with None -> [] | Some f -> f ());
@@ -112,7 +120,7 @@ let end_span sc =
             parent = c.parent;
             name = c.ctx_name;
             start_s = c.start;
-            duration_s = now_s () -. c.start;
+            duration_s = mono_s () -. c.start_mono;
             attrs = c.ctx_attrs;
           }
       end

@@ -39,11 +39,18 @@ val logs : level -> bool
     {!event} applies. *)
 
 val now_s : unit -> float
-(** The single wall-clock helper (seconds since the epoch, sub-µs
-    resolution) used for every duration the system reports: span
-    durations, engine stage timings, batch wall time. Use this — not
-    [Sys.time], which is process CPU time and diverges from wall time
-    as soon as more than one domain runs. *)
+(** The wall clock (seconds since the epoch, sub-µs resolution) — the
+    clock for {e timestamps}: span [start_s], event times. Not for
+    durations: an NTP step between two reads yields a negative or
+    garbage difference — use {!mono_s} for those. *)
+
+val mono_s : unit -> float
+(** The monotonic clock ([clock_gettime(CLOCK_MONOTONIC)], seconds
+    from an arbitrary origin) — the clock for every {e duration} the
+    system reports: span [duration_s], engine stage timings, batch
+    wall time. Immune to NTP steps; comparable only within one
+    process. Use this — not [Sys.time], which is process CPU time and
+    diverges from wall time as soon as more than one domain runs. *)
 
 val cpu_s : unit -> float
 (** Process CPU time, for attributes that genuinely mean CPU work

@@ -1,0 +1,42 @@
+/* Monotonic clock for span durations.
+
+   Obs.now_s is wall-clock (gettimeofday): right for timestamps, wrong
+   for durations — an NTP step between a span's start and end yields a
+   negative or garbage duration_s.  clock_gettime(CLOCK_MONOTONIC) is
+   immune to clock steps; no opam package is needed for one syscall. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+
+CAMLprim value distlock_obs_mono_s(value unit)
+{
+  static LARGE_INTEGER freq; /* zero-initialised; set on first call */
+  LARGE_INTEGER now;
+  if (freq.QuadPart == 0)
+    QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&now);
+  return caml_copy_double((double)now.QuadPart / (double)freq.QuadPart);
+}
+
+#else
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value distlock_obs_mono_s(value unit)
+{
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+#endif
+  /* Fallback: wall clock — still a valid clock, just steppable. */
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+  }
+}
+#endif

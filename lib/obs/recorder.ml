@@ -1,0 +1,225 @@
+(* The flight recorder: a bounded, lock-striped ring buffer of recent
+   spans and events, cheap enough to leave on by default, dumped only
+   when something anomalous happens (a decision errors, a budget
+   exhausts, a --verify cross-check diverges).
+
+   Concurrency: each push locks exactly one stripe, chosen by the
+   emitting domain's id, so domains contend only when their ids collide
+   modulo the stripe count. Inside a stripe the buffer is a classic
+   ring: `next` wraps, old records are overwritten, nothing allocates
+   beyond the record already in hand. A record is an immutable OCaml
+   value stored under the stripe mutex, so a snapshot can never observe
+   a torn (half-written) record. *)
+
+type record = Rspan of Span.span | Revent of Span.event
+
+let record_time = function
+  | Rspan s -> s.Span.start_s
+  | Revent e -> e.Span.time_s
+
+let record_to_json = function
+  | Rspan s -> Span.span_to_json s
+  | Revent e -> Span.event_to_json e
+
+type stripe = {
+  lock : Mutex.t;
+  buf : record option array;
+  mutable next : int;  (* next write slot *)
+  mutable pushes : int;  (* lifetime pushes into this stripe *)
+}
+
+type t = {
+  stripes : stripe array;
+  capacity : int;  (* per stripe *)
+  registries : (unit -> (string * Registry.t) list) Atomic.t;
+  dump_dest : (unit -> out_channel) Atomic.t;
+  dumps : int Atomic.t;
+  dump_limit : int;
+}
+
+let create ?(stripes = 8) ?(capacity = 512) ?(dump_limit = 5) () =
+  if stripes < 1 then invalid_arg "Recorder.create: stripes must be >= 1";
+  if capacity < 1 then invalid_arg "Recorder.create: capacity must be >= 1";
+  {
+    stripes =
+      Array.init stripes (fun _ ->
+          {
+            lock = Mutex.create ();
+            buf = Array.make capacity None;
+            next = 0;
+            pushes = 0;
+          });
+    capacity;
+    registries = Atomic.make (fun () -> []);
+    dump_dest = Atomic.make (fun () -> stderr);
+    dumps = Atomic.make 0;
+    dump_limit;
+  }
+
+let with_lock lock f =
+  Mutex.lock lock;
+  match f () with
+  | r ->
+      Mutex.unlock lock;
+      r
+  | exception e ->
+      Mutex.unlock lock;
+      raise e
+
+let push t r =
+  let st =
+    t.stripes.((Domain.self () :> int) mod Array.length t.stripes)
+  in
+  with_lock st.lock (fun () ->
+      st.buf.(st.next) <- Some r;
+      st.next <- (st.next + 1) mod t.capacity;
+      st.pushes <- st.pushes + 1)
+
+let sink t =
+  {
+    Sink.on_span = (fun s -> push t (Rspan s));
+    on_event = (fun e -> push t (Revent e));
+    flush = ignore;
+  }
+
+let set_registries t f = Atomic.set t.registries f
+
+let set_dump_dest t f = Atomic.set t.dump_dest f
+
+(* Oldest-first snapshot of one stripe: the ring reads from `next`
+   (oldest surviving slot once the buffer has wrapped) around to
+   `next - 1`. *)
+let stripe_records st capacity =
+  with_lock st.lock (fun () ->
+      let out = ref [] in
+      for i = capacity - 1 downto 0 do
+        match st.buf.((st.next + i) mod capacity) with
+        | Some r -> out := r :: !out
+        | None -> ()
+      done;
+      (!out, st.pushes))
+
+let records t =
+  let per_stripe =
+    Array.to_list
+      (Array.map (fun st -> fst (stripe_records st t.capacity)) t.stripes)
+  in
+  (* Merge the stripes on the records' wall-clock stamps so the dump
+     reads chronologically; stable sort keeps same-stamp records in
+     stripe order. *)
+  List.stable_sort
+    (fun a b -> Float.compare (record_time a) (record_time b))
+    (List.concat per_stripe)
+
+let dropped t =
+  Array.fold_left
+    (fun acc st ->
+      let _, pushes = stripe_records st t.capacity in
+      acc + max 0 (pushes - t.capacity))
+    0 t.stripes
+
+let gc_json () =
+  let q = Gc.quick_stat () in
+  Json.Obj
+    [
+      (* [quick_stat]'s counters only refresh at GC events (a short run
+         with no minor collection reports zeros); [Gc.minor_words] reads
+         the allocation pointer and is exact at any moment. *)
+      ("minor_words", Json.Float (Gc.minor_words ()));
+      ("promoted_words", Json.Float q.Gc.promoted_words);
+      ("major_words", Json.Float q.Gc.major_words);
+      ("minor_collections", Json.Int q.Gc.minor_collections);
+      ("major_collections", Json.Int q.Gc.major_collections);
+      ("heap_words", Json.Int q.Gc.heap_words);
+      ("compactions", Json.Int q.Gc.compactions);
+    ]
+
+let instrument_json (e : Registry.entry) =
+  let labels =
+    Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) e.Registry.labels)
+  in
+  let base kind fields =
+    Json.Obj
+      ([
+         ("type", Json.Str "metric");
+         ("name", Json.Str e.Registry.name);
+         ("labels", labels);
+         ("kind", Json.Str kind);
+       ]
+      @ fields)
+  in
+  match e.Registry.instrument with
+  | Registry.Counter c ->
+      base "counter" [ ("value", Json.Int (Metric.counter_value c)) ]
+  | Registry.Gauge g ->
+      base "gauge" [ ("value", Json.Float (Metric.gauge_value g)) ]
+  | Registry.Histogram h ->
+      base "histogram"
+        [
+          ( "le",
+            Json.List
+              (Array.to_list
+                 (Array.map
+                    (fun b ->
+                      if b = Float.infinity then Json.Str "+Inf"
+                      else Json.Float b)
+                    (Metric.bucket_bounds h))) );
+          ( "cumulative",
+            Json.List
+              (Array.to_list
+                 (Array.map (fun n -> Json.Int n) (Metric.cumulative h))) );
+          ("sum", Json.Float (Metric.histogram_sum h));
+          ("count", Json.Int (Metric.histogram_count h));
+        ]
+
+let dump t ~reason oc =
+  let line j =
+    output_string oc (Json.to_string j);
+    output_char oc '\n'
+  in
+  let recs = records t in
+  line
+    (Json.Obj
+       [
+         ("type", Json.Str "flight_dump");
+         ("reason", Json.Str reason);
+         ("time_s", Json.Float (Unix.gettimeofday ()));
+         ("records", Json.Int (List.length recs));
+         ("dropped", Json.Int (dropped t));
+         ("gc", gc_json ());
+       ]);
+  List.iter (fun r -> line (record_to_json r)) recs;
+  List.iter
+    (fun (label, reg) ->
+      List.iter
+        (fun e ->
+          match instrument_json e with
+          | Json.Obj fields ->
+              line (Json.Obj (("registry", Json.Str label) :: fields))
+          | j -> line j)
+        (Registry.entries reg))
+    ((Atomic.get t.registries) ());
+  flush oc
+
+(* ------------------------------------------------------------------ *)
+(* The process-global instance the anomaly hooks consult. Installed by
+   the CLI at startup; libraries only ever call [anomaly], which is a
+   no-op until something is installed, so tests and embedders that
+   exercise Unknown verdicts on purpose see no surprise output. *)
+
+let installed : t option Atomic.t = Atomic.make None
+
+let set_global r = Atomic.set installed r
+
+let global () = Atomic.get installed
+
+let anomaly ~reason =
+  match Atomic.get installed with
+  | None -> ()
+  | Some t ->
+      (* Cap the dumps: one anomaly per decision in a pathological batch
+         would flood stderr with near-identical flight dumps. *)
+      if Atomic.fetch_and_add t.dumps 1 < t.dump_limit then
+        dump t ~reason ((Atomic.get t.dump_dest) ())
+
+let dump_count t = Atomic.get t.dumps

@@ -1,0 +1,136 @@
+(* Chrome trace-event export: render collected spans and events in the
+   JSON format chrome://tracing and Perfetto read natively.
+
+   Mapping:
+     span   -> a "complete" event  (ph "X", ts + dur in microseconds)
+     event  -> an "instant" event  (ph "i", thread-scoped)
+     domain -> a thread track      (tid = the span's "domain" attribute)
+
+   The whole process is one pid; each OCaml domain becomes one thread
+   track, named by "M"-phase metadata records, so a --jobs N batch shows
+   its pool workers as N parallel lanes. Timestamps are microseconds
+   relative to the earliest record, which keeps them small and lines the
+   viewer up at t=0. *)
+
+let domain_of (attrs : Attr.t) =
+  match List.assoc_opt "domain" attrs with
+  | Some (Attr.Int d) -> d
+  | Some (Attr.Str _ | Attr.Float _ | Attr.Bool _) | None -> 0
+
+let us_since t0 t = (t -. t0) *. 1e6
+
+(* The earliest wall-clock timestamp in the stream, the export's t=0. *)
+let origin spans events =
+  let m =
+    List.fold_left
+      (fun acc (s : Span.span) -> Float.min acc s.Span.start_s)
+      infinity spans
+  in
+  let m =
+    List.fold_left
+      (fun acc (e : Span.event) -> Float.min acc e.Span.time_s)
+      m events
+  in
+  if m = infinity then 0. else m
+
+let args_field (attrs : Attr.t) extra =
+  match (attrs, extra) with
+  | [], [] -> []
+  | _ ->
+      [
+        ( "args",
+          Json.Obj
+            (extra
+            @ List.map (fun (k, v) -> (k, Attr.json_of_value v)) attrs) );
+      ]
+
+let span_record ~pid ~t0 (s : Span.span) =
+  Json.Obj
+    ([
+       ("name", Json.Str s.Span.name);
+       ("cat", Json.Str "span");
+       ("ph", Json.Str "X");
+       ("ts", Json.Float (us_since t0 s.Span.start_s));
+       ("dur", Json.Float (Float.max 0. (s.Span.duration_s *. 1e6)));
+       ("pid", Json.Int pid);
+       ("tid", Json.Int (domain_of s.Span.attrs));
+     ]
+    @ args_field s.Span.attrs
+        (("span_id", Json.Int s.Span.id)
+        ::
+        (match s.Span.parent with
+        | Some p -> [ ("parent", Json.Int p) ]
+        | None -> [])))
+
+let event_record ~pid ~t0 (e : Span.event) =
+  Json.Obj
+    ([
+       ("name", Json.Str e.Span.name);
+       ("cat", Json.Str "event");
+       ("ph", Json.Str "i");
+       ("s", Json.Str "t");
+       ("ts", Json.Float (us_since t0 e.Span.time_s));
+       ("pid", Json.Int pid);
+       ("tid", Json.Int (domain_of e.Span.attrs));
+     ]
+    @ args_field e.Span.attrs
+        (match e.Span.span with
+        | Some p -> [ ("span", Json.Int p) ]
+        | None -> []))
+
+let metadata ~pid ~process_name tids =
+  Json.Obj
+    [
+      ("name", Json.Str "process_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int pid);
+      ("args", Json.Obj [ ("name", Json.Str process_name) ]);
+    ]
+  :: List.map
+       (fun tid ->
+         Json.Obj
+           [
+             ("name", Json.Str "thread_name");
+             ("ph", Json.Str "M");
+             ("pid", Json.Int pid);
+             ("tid", Json.Int tid);
+             ( "args",
+               Json.Obj
+                 [ ("name", Json.Str (Printf.sprintf "domain %d" tid)) ] );
+           ])
+       tids
+
+let tracks spans events =
+  let seen = Hashtbl.create 8 in
+  let note attrs =
+    let d = domain_of attrs in
+    if not (Hashtbl.mem seen d) then Hashtbl.add seen d ()
+  in
+  List.iter (fun (s : Span.span) -> note s.Span.attrs) spans;
+  List.iter (fun (e : Span.event) -> note e.Span.attrs) events;
+  List.sort compare (Hashtbl.fold (fun d () acc -> d :: acc) seen [])
+
+let to_json ?(pid = 1) ?(process_name = "distlock") ~spans ~events () =
+  let t0 = origin spans events in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List
+          (metadata ~pid ~process_name (tracks spans events)
+          @ List.map (span_record ~pid ~t0) spans
+          @ List.map (event_record ~pid ~t0) events) );
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write ?pid ?process_name oc ~spans ~events () =
+  output_string oc (Json.to_string_pretty (to_json ?pid ?process_name ~spans ~events ()));
+  output_char oc '\n'
+
+(* A sink that buffers everything plus a closure that renders the
+   buffer; what `--chrome-trace FILE` tees into. *)
+let collector ?pid ?process_name () =
+  let sink, read = Sink.collecting () in
+  ( sink,
+    fun oc ->
+      let spans, events = read () in
+      write ?pid ?process_name oc ~spans ~events () )

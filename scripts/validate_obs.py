@@ -3,7 +3,9 @@
 
 Usage:
     validate_obs.py json FILE       # `check --json` / `batch --json` output
+    validate_obs.py explain FILE    # `check --explain --json` output
     validate_obs.py trace FILE      # --trace JSONL spans/events
+    validate_obs.py chrome FILE [MIN_TRACKS]  # --chrome-trace JSON
     validate_obs.py metrics FILE    # --metrics Prometheus text exposition
     validate_obs.py bench FILE      # BENCH_results.json
 
@@ -32,6 +34,60 @@ def check_outcome(o, where):
     for i, st in enumerate(o["stages"]):
         need(st, ["stage", "procedure", "status", "detail", "seconds"],
              f"{where}.stages[{i}]")
+
+
+EXPLAIN_STATUSES = ("decided", "passed", "error", "skipped",
+                    "inapplicable", "not-reached")
+
+
+def check_explain_record(ex, where):
+    """The typed provenance record: schema tag, the whole checker table
+    with one entry per stage, cache disposition, optional oracle."""
+    need(ex, ["schema", "verdict", "procedure", "detail", "cached",
+              "seconds", "cache", "stages"], where)
+    if ex["schema"] != "distlock.explain/1":
+        die(f"{where}: bad schema {ex['schema']!r}")
+    if ex["verdict"] not in ("safe", "unsafe", "unknown"):
+        die(f"{where}: bad verdict {ex['verdict']!r}")
+    need(ex["cache"], ["fingerprint", "hit", "pair_hits", "pair_misses",
+                       "pairs_redecided"], f"{where}.cache")
+    if not re.fullmatch(r"[0-9a-f]{32}", ex["cache"]["fingerprint"]):
+        die(f"{where}.cache: fingerprint is not a 32-char hex digest")
+    if not ex["stages"]:
+        die(f"{where}: empty stage table")
+    decided = 0
+    for i, st in enumerate(ex["stages"]):
+        w = f"{where}.stages[{i}]"
+        need(st, ["checker", "procedure", "cost", "applicable", "status",
+                  "detail", "seconds", "budget_spent_s"], w)
+        if st["status"] not in EXPLAIN_STATUSES:
+            die(f"{w}: bad status {st['status']!r}")
+        if st["status"] == "decided":
+            decided += 1
+        if not st["applicable"] and st["status"] != "inapplicable":
+            die(f"{w}: inapplicable stage has status {st['status']!r}")
+    if ex["verdict"] in ("safe", "unsafe") and not ex["cache"]["hit"] \
+            and decided != 1:
+        die(f"{where}: decided verdict but {decided} 'decided' stages")
+    if "oracle" in ex:
+        need(ex["oracle"], ["states", "dup_hits", "dedup_ratio",
+                            "exhausted"], f"{where}.oracle")
+        if not 0 <= ex["oracle"]["dedup_ratio"] <= 1:
+            die(f"{where}.oracle: dedup_ratio out of [0,1]")
+
+
+def check_explain(path):
+    data = json.load(open(path))
+    outcomes = data["results"] if "results" in data else [data]
+    n = 0
+    for i, o in enumerate(outcomes):
+        if "explain" not in o:
+            die(f"outcome[{i}]: missing explain record "
+                "(was --explain passed?)")
+        check_explain_record(o["explain"], f"outcome[{i}].explain")
+        n += 1
+    if n == 0:
+        die(f"{path}: no outcomes")
 
 
 def check_json(path):
@@ -75,6 +131,40 @@ def check_trace(path):
         die(f"{path}: empty trace")
 
 
+def check_chrome(path, min_tracks=1):
+    """--chrome-trace output: the trace-event JSON object format that
+    chrome://tracing and Perfetto load."""
+    data = json.load(open(path))
+    need(data, ["traceEvents"], "chrome")
+    evs = data["traceEvents"]
+    if not evs:
+        die(f"{path}: no trace events")
+    tracks = set()
+    complete = 0
+    for i, e in enumerate(evs):
+        need(e, ["ph", "pid", "name"], f"traceEvents[{i}]")
+        if e["ph"] == "M":  # metadata: names a process/thread track
+            continue  # process_name events legitimately carry no tid
+        need(e, ["ts", "tid"], f"traceEvents[{i}]")
+        if e["ts"] < 0:
+            die(f"traceEvents[{i}]: negative timestamp")
+        if e["ph"] == "X":
+            need(e, ["dur"], f"traceEvents[{i}]")
+            if e["dur"] < 0:
+                die(f"traceEvents[{i}]: negative duration")
+            complete += 1
+            tracks.add((e["pid"], e["tid"]))
+        elif e["ph"] == "i":
+            if e.get("s") not in ("t", "p", "g"):
+                die(f"traceEvents[{i}]: instant without a scope")
+        else:
+            die(f"traceEvents[{i}]: unexpected phase {e['ph']!r}")
+    if complete == 0:
+        die(f"{path}: no complete (ph=X) events")
+    if len(tracks) < min_tracks:
+        die(f"{path}: {len(tracks)} track(s), expected >= {min_tracks}")
+
+
 def check_metrics(path):
     sample = re.compile(
         r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.e+-]+|\+Inf|NaN)$')
@@ -111,7 +201,14 @@ def check_metrics(path):
 
 def check_bench(path):
     data = json.load(open(path))
-    need(data, ["harness", "version", "experiments"], "bench")
+    need(data, ["harness", "version", "experiments", "host"], "bench")
+    host = data["host"]
+    need(host, ["cpu_count", "ocaml_version", "git_describe", "os_type",
+                "word_size"], "bench.host")
+    if host["cpu_count"] < 1:
+        die(f"bench: implausible cpu_count {host['cpu_count']}")
+    if not host["ocaml_version"]:
+        die("bench: empty ocaml_version")
     if not data["experiments"]:
         die("bench: no experiments recorded")
     for i, e in enumerate(data["experiments"]):
@@ -123,6 +220,8 @@ def check_bench(path):
             check_e16(e)
         if e["id"] == "E17":
             check_e17(e)
+        if e["id"] == "E18":
+            check_e18(e)
 
 
 def check_e15(e):
@@ -198,15 +297,40 @@ def check_e17(e):
                 "below the 10x bar")
 
 
+def check_e18(e):
+    """The recorder-overhead artifact: the always-on flight recorder must
+    cost under 5% at the median against a noop sink; the full stack
+    (recorder + JSONL + Chrome collector) just has to be measured."""
+    m = e["metrics"]
+    need(e["params"], ["queries", "full_stack"], "E18.params")
+    need(m, ["noop_seconds", "recorder_seconds", "full_seconds",
+             "recorder_overhead_ratio", "full_overhead_ratio"],
+         "E18.metrics")
+    for k in ("noop_seconds", "recorder_seconds", "full_seconds"):
+        if m[k] <= 0:
+            die(f"E18: {k} not positive")
+    if m["recorder_overhead_ratio"] >= 1.05:
+        die(f"E18: recorder overhead {m['recorder_overhead_ratio']:.3f}x "
+            "at or above the 1.05x bar")
+
+
 def main():
-    if len(sys.argv) != 3:
-        die("usage: validate_obs.py {json|trace|metrics|bench} FILE")
+    if len(sys.argv) not in (3, 4):
+        die("usage: validate_obs.py "
+            "{json|explain|trace|chrome|metrics|bench} FILE [MIN_TRACKS]")
     kind, path = sys.argv[1], sys.argv[2]
-    handlers = {"json": check_json, "trace": check_trace,
-                "metrics": check_metrics, "bench": check_bench}
-    if kind not in handlers:
+    handlers = {"json": check_json, "explain": check_explain,
+                "trace": check_trace, "metrics": check_metrics,
+                "bench": check_bench}
+    if kind == "chrome":
+        min_tracks = int(sys.argv[3]) if len(sys.argv) == 4 else 1
+        check_chrome(path, min_tracks)
+    elif kind in handlers:
+        if len(sys.argv) == 4:
+            die(f"{kind} takes no extra argument")
+        handlers[kind](path)
+    else:
         die(f"unknown artifact kind {kind!r}")
-    handlers[kind](path)
     print(f"validate_obs: {kind} {path}: OK")
 
 

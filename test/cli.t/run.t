@@ -303,3 +303,79 @@ aborted attempts, with tick, site, entity, and attempt — as JSONL:
   {"seed":0,"tick":3,"txn":"T2","step":"Uz","action":"unlock","entity":"z","site":2,"attempt":1}
   $ wc -l < sim.jsonl
   16
+
+--explain prints the full provenance record after the verdict: every
+checker in the table with its status (including the ones that never
+ran and why), per-stage timing against the cumulative budget, the
+cache fingerprint, and — when an exhaustive oracle ran — its state
+statistics:
+
+  $ ../../bin/distlock_cli.exe check --explain fig5.txt > explain5.txt
+  $ sed -E 's/ +[0-9]+\.[0-9]+ ms/ X ms/g' explain5.txt
+  SAFE — state graph: no reachable execution is non-serializable
+  --
+  explain: safe via States in X ms (fingerprint 7d145e9cd38f4267d16bdfac6d6f67d4)
+  trivial           [trivial] poly passed X ms (spent X ms)  two or more commonly locked entities
+  theorem1          [Thm 1  ] poly passed X ms (spent X ms)  D(T1,T2) not strongly connected
+  two-site          [Thm 2  ] poly inapplicable
+  geometric         [Prop 1 ] poly inapplicable
+  closure           [Cor 2  ] exp  passed X ms (spent X ms)  no dominator of D(T1,T2) closes
+  state-graph       [States ] exp  decided X ms (spent X ms)  state graph: no reachable execution is non-serializable  {states=319 dup_hits=490 exhausted=false}
+  exhaustive        [Lemma 1] exp  not-reached
+  multisite         [Prop 2 ] exp  inapplicable
+  multi-state-graph [States ] exp  inapplicable
+  oracle: 319 state(s), 490 duplicate hit(s) (60.6% dedup)
+
+The JSON form embeds the same record under "explain", schema-tagged
+and carrying the oracle's dedup statistics:
+
+  $ ../../bin/distlock_cli.exe check --explain --json fig5.txt \
+  >   | grep -E '"(schema|dedup_ratio)"'
+      "schema": "distlock.explain/1",
+        "dedup_ratio": 0.605686032138,
+
+In a batch report every item carries its own record; a --repeat
+duplicate is explained as a cache hit:
+
+  $ ../../bin/distlock_cli.exe batch --repeat 2 --explain --json fig2.txt \
+  >   | grep '"hit"'
+            "hit": false,
+            "hit": true,
+
+--chrome-trace renders the span stream as Chrome trace-event JSON
+(load it in chrome://tracing or Perfetto); a --jobs batch gets one
+thread track per domain:
+
+  $ ../../bin/distlock_cli.exe batch --jobs 2 --chrome-trace chrome.json \
+  >   safe.txt fig5.txt > /dev/null
+  $ grep -q '"traceEvents"' chrome.json
+  $ grep -q '"displayTimeUnit": "ms"' chrome.json
+  $ test $(grep -c '"ph": "X"' chrome.json) -ge 2
+
+A decision that ends Unknown trips the flight recorder: the recent
+span ring, a GC snapshot, and every registered counter/histogram are
+dumped to stderr as JSON Lines. The exhausted oracle still explains
+itself:
+
+  $ ../../bin/distlock_cli.exe check --explain --budget 0 fig5.txt \
+  >   2> flight.jsonl > explain_b0.txt
+  [3]
+  $ sed -E 's/ +[0-9]+\.[0-9]+ ms/ X ms/g' explain_b0.txt
+  UNKNOWN — no applicable procedure decided the system
+  --
+  explain: unknown via undecided in X ms (fingerprint 7d145e9cd38f4267d16bdfac6d6f67d4)
+  trivial           [trivial] poly passed X ms (spent X ms)  two or more commonly locked entities
+  theorem1          [Thm 1  ] poly passed X ms (spent X ms)  D(T1,T2) not strongly connected
+  two-site          [Thm 2  ] poly inapplicable
+  geometric         [Prop 1 ] poly inapplicable
+  closure           [Cor 2  ] exp  passed X ms (spent X ms)  no dominator of D(T1,T2) closes
+  state-graph       [States ] exp  passed X ms (spent X ms)  state budget exhausted after 0 of 0 allowed states  {states=0 dup_hits=0 exhausted=true}
+  exhaustive        [Lemma 1] exp  passed X ms (spent X ms)  picture budget exhausted after 0 of 0 allowed extension pairs
+  multisite         [Prop 2 ] exp  inapplicable
+  multi-state-graph [States ] exp  inapplicable
+  oracle: 0 state(s), 0 duplicate hit(s) (0.0% dedup), budget exhausted
+  $ grep -c '"type":"flight_dump"' flight.jsonl
+  1
+  $ grep -q '"engine decision ended Unknown' flight.jsonl
+  $ grep -q '"minor_words"' flight.jsonl
+  $ grep -q '"kind":"histogram"' flight.jsonl

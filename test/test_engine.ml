@@ -408,6 +408,109 @@ let test_batch_jobs_validation () =
      with Invalid_argument _ -> true)
 
 (* ------------------------------------------------------------------ *)
+(* Explain: the typed provenance record *)
+
+let stage_status (ex : E.Explain.t) name =
+  match
+    List.find_opt (fun (s : E.Explain.stage) -> s.E.Explain.checker = name)
+      ex.E.Explain.stages
+  with
+  | Some s -> s.E.Explain.status
+  | None -> Alcotest.failf "explain carries no stage %S" name
+
+let test_explain_fast_path () =
+  let eng = Decision.create () in
+  let o, ex = Decision.decide_explained eng (two_phase_pair ()) in
+  Util.check "decided by Theorem 1" true
+    (o.E.Outcome.procedure = Some E.Checker.Theorem_1);
+  Util.check "verdict mirrored" true (ex.E.Explain.verdict = "safe");
+  Util.check "procedure mirrored" true
+    (ex.E.Explain.procedure = E.Outcome.provenance o);
+  Util.check "not served from cache" false ex.E.Explain.cache.E.Explain.hit;
+  Util.check "the winning stage is marked decided" true
+    (stage_status ex "theorem1" = "decided");
+  (* Every checker in the table appears exactly once, and stages after
+     the winner never ran. *)
+  Util.check_int "full checker table present"
+    (List.length Decision.checkers)
+    (List.length ex.E.Explain.stages);
+  Util.check "state graph not reached on a fast path" true
+    (stage_status ex "state-graph" = "not-reached");
+  (* budget_spent_s is a cumulative, nondecreasing prefix sum. *)
+  let rec nondecreasing prev = function
+    | [] -> true
+    | (s : E.Explain.stage) :: rest ->
+        s.E.Explain.budget_spent_s >= prev
+        && nondecreasing s.E.Explain.budget_spent_s rest
+  in
+  Util.check "budget_spent_s nondecreasing" true
+    (nondecreasing 0. ex.E.Explain.stages);
+  Util.check "fast path carries no oracle stats" true
+    (ex.E.Explain.oracle = None)
+
+let test_explain_oracle_stats () =
+  let eng = Decision.create () in
+  let _, ex = Decision.decide_explained eng (Figures.fig5 ()) in
+  Util.check "fig5 decided by the state graph" true
+    (stage_status ex "state-graph" = "decided");
+  match ex.E.Explain.oracle with
+  | None -> Alcotest.fail "state-graph decision must carry oracle stats"
+  | Some o ->
+      Util.check "states visited" true (o.E.Explain.states > 0);
+      Util.check "dedup ratio in [0,1]" true
+        (o.E.Explain.dedup_ratio >= 0. && o.E.Explain.dedup_ratio <= 1.);
+      Util.check "not exhausted" false o.E.Explain.exhausted
+
+let test_explain_cache_hit () =
+  let eng = Decision.create () in
+  let _, ex1 = Decision.decide_explained eng (unsafe_pair ()) in
+  let o2, ex2 = Decision.decide_explained eng (unsafe_pair ()) in
+  Util.check "second decision cached" true o2.E.Outcome.cached;
+  Util.check "explain reports the hit" true ex2.E.Explain.cache.E.Explain.hit;
+  Util.check "same fingerprint digest both times" true
+    (ex1.E.Explain.cache.E.Explain.fingerprint
+    = ex2.E.Explain.cache.E.Explain.fingerprint);
+  Util.check "digest is 32 hex chars" true
+    (String.length ex1.E.Explain.cache.E.Explain.fingerprint = 32)
+
+let test_explain_exhaustion () =
+  let eng = Decision.create () in
+  let o, ex =
+    Decision.decide_explained ~budget:(E.Budget.of_steps 1) eng
+      (Figures.fig5 ())
+  in
+  Util.check "undecided" false (E.Outcome.decided o);
+  Util.check "verdict unknown" true (ex.E.Explain.verdict = "unknown");
+  match ex.E.Explain.oracle with
+  | None -> Alcotest.fail "exhausted oracle must still report stats"
+  | Some os -> Util.check "exhaustion flagged" true os.E.Explain.exhausted
+
+let test_explain_annotated_metrics () =
+  (* A custom checker wrapping its result in [Annotated] must surface
+     its attributes as the stage's [metrics]. *)
+  let checker =
+    E.Checker.make ~name:"annotated"
+      ~procedure:(E.Checker.Custom "annotated")
+      ~cost:E.Checker.Constant
+      ~applicable:(fun _ -> true)
+      ~run:(fun _ _ ->
+        E.Checker.Annotated
+          ( [ Distlock_obs.Attr.int "widgets" 7 ],
+            E.Checker.Safe "annotated says safe" ))
+  in
+  let eng = E.Engine.create ~fingerprint:(fun () -> "unit") [ checker ] in
+  let _, ex = E.Engine.decide_explained eng () in
+  match ex.E.Explain.stages with
+  | [ s ] ->
+      Util.check "status decided" true (s.E.Explain.status = "decided");
+      Util.check "annotation surfaced as a stage metric" true
+        (List.assoc_opt "widgets" s.E.Explain.metrics
+        = Some (Distlock_obs.Attr.Int 7));
+      Util.check "detail is the unwrapped result's" true
+        (s.E.Explain.detail = "annotated says safe")
+  | l -> Alcotest.failf "expected 1 stage, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "engine"
@@ -455,5 +558,14 @@ let () =
           Alcotest.test_case "jobs validation" `Quick
             test_batch_jobs_validation;
           qcheck_jobs_equivalence;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "fast path" `Quick test_explain_fast_path;
+          Alcotest.test_case "oracle stats" `Quick test_explain_oracle_stats;
+          Alcotest.test_case "cache hit" `Quick test_explain_cache_hit;
+          Alcotest.test_case "budget exhaustion" `Quick test_explain_exhaustion;
+          Alcotest.test_case "annotated metrics" `Quick
+            test_explain_annotated_metrics;
         ] );
     ]

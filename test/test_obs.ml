@@ -354,6 +354,240 @@ let test_counter_atomic_under_domains () =
     (Metric.histogram_sum h)
 
 (* ------------------------------------------------------------------ *)
+(* Monotonic clock *)
+
+let test_mono_nondecreasing () =
+  let prev = ref (Obs.mono_s ()) in
+  for _ = 1 to 1_000 do
+    let now = Obs.mono_s () in
+    if now < !prev then
+      Alcotest.failf "mono_s went backwards: %.9f after %.9f" now !prev;
+    prev := now
+  done;
+  (* The clock must actually advance over real work. *)
+  let t0 = Obs.mono_s () in
+  ignore (Sys.opaque_identity (List.init 100_000 Fun.id));
+  check bool "mono_s advances" true (Obs.mono_s () > t0)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export *)
+
+let mk_span ?(attrs = []) ~id ?parent ~name ~start_s ~duration_s ~domain () =
+  {
+    Span.id;
+    parent;
+    name;
+    start_s;
+    duration_s;
+    attrs = Attr.int "domain" domain :: attrs;
+  }
+
+let test_trace_export_shape () =
+  let spans =
+    [
+      mk_span ~id:1 ~name:"engine.decide" ~start_s:10.0 ~duration_s:0.002
+        ~domain:0 ();
+      mk_span ~id:2 ~parent:1 ~name:"engine.stage" ~start_s:10.0005
+        ~duration_s:0.001 ~domain:0 ();
+      mk_span ~id:3 ~name:"engine.decide" ~start_s:10.001 ~duration_s:0.003
+        ~domain:1 ();
+    ]
+  in
+  let events =
+    [
+      {
+        Span.name = "sim.txn.abort";
+        time_s = 10.0010;
+        span = Some 1;
+        attrs = [ Attr.int "domain" 0 ];
+      };
+    ]
+  in
+  match Trace_export.to_json ~spans ~events () with
+  | Json.Obj fields ->
+      check bool "displayTimeUnit ms" true
+        (List.assoc_opt "displayTimeUnit" fields = Some (Json.Str "ms"));
+      let evs =
+        match List.assoc "traceEvents" fields with
+        | Json.List l -> l
+        | _ -> Alcotest.fail "traceEvents is not a list"
+      in
+      let phase j =
+        match j with
+        | Json.Obj f -> (
+            match List.assoc_opt "ph" f with
+            | Some (Json.Str p) -> p
+            | _ -> Alcotest.fail "event without ph")
+        | _ -> Alcotest.fail "trace event is not an object"
+      in
+      let completes = List.filter (fun j -> phase j = "X") evs in
+      check int "one complete event per span" 3 (List.length completes);
+      check int "one instant per event" 1
+        (List.length (List.filter (fun j -> phase j = "i") evs));
+      (* process_name + a thread_name per domain *)
+      check int "metadata names process and both domains" 3
+        (List.length (List.filter (fun j -> phase j = "M") evs));
+      let field f j =
+        match j with Json.Obj l -> List.assoc_opt f l | _ -> None
+      in
+      let tids =
+        List.sort_uniq compare (List.filter_map (field "tid") completes)
+      in
+      check int "one track per domain" 2 (List.length tids);
+      (* ts is microseconds relative to the earliest record: the first
+         span starts at 0, the second 500us later. *)
+      let ts =
+        List.sort compare
+          (List.filter_map
+             (fun j ->
+               match field "ts" j with Some (Json.Float t) -> Some t | _ -> None)
+             completes)
+      in
+      (match ts with
+      | [ t0; t1; t2 ] ->
+          check (Alcotest.float 1e-6) "earliest span at ts 0" 0. t0;
+          check (Alcotest.float 1e-6) "second span 500us later" 500. t1;
+          check (Alcotest.float 1e-6) "third span 1000us later" 1000. t2
+      | _ -> Alcotest.fail "expected 3 complete-event timestamps")
+  | _ -> Alcotest.fail "to_json did not return an object"
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder *)
+
+let rspan ~id ~start_s ~task =
+  Recorder.Rspan
+    (mk_span ~id ~name:"hammer" ~start_s ~duration_s:0.001 ~domain:0
+       ~attrs:[ Attr.int "task" task ]
+       ())
+
+let test_recorder_ring_wrap () =
+  let r = Recorder.create ~stripes:1 ~capacity:4 () in
+  let sink = Recorder.sink r in
+  for i = 1 to 10 do
+    match rspan ~id:i ~start_s:(float_of_int i) ~task:i with
+    | Recorder.Rspan s -> sink.Sink.on_span s
+    | Recorder.Revent _ -> assert false
+  done;
+  let recs = Recorder.records r in
+  check int "ring keeps the last [capacity] records" 4 (List.length recs);
+  let ids =
+    List.map
+      (function
+        | Recorder.Rspan s -> s.Span.id
+        | Recorder.Revent _ -> Alcotest.fail "unexpected event")
+      recs
+  in
+  check (Alcotest.list int) "oldest-first, newest retained" [ 7; 8; 9; 10 ] ids
+
+let test_recorder_multi_domain_hammer () =
+  (* 4 domains push 200 spans each through the striped ring. Capacity
+     is large enough that nothing is evicted even if every domain lands
+     on the same stripe, so afterwards the ring must hold exactly 800
+     records, each with its payload intact — a torn record (or a lost
+     push) breaks the count or the per-emitter reconstruction. *)
+  let per_domain = 200 in
+  let r = Recorder.create ~stripes:8 ~capacity:1_024 () in
+  let sink = Recorder.sink r in
+  let emit e =
+    for i = 0 to per_domain - 1 do
+      let id = (e * per_domain) + i in
+      sink.Sink.on_span
+        (mk_span ~id ~name:"hammer" ~start_s:(float_of_int id)
+           ~duration_s:0.001
+           ~domain:(Domain.self () :> int)
+           ~attrs:[ Attr.int "emitter" e; Attr.int "seq" i ]
+           ())
+    done
+  in
+  let workers = List.init 3 (fun e -> Domain.spawn (fun () -> emit (e + 1))) in
+  emit 0;
+  List.iter Domain.join workers;
+  let recs = Recorder.records r in
+  check int "every push retained" (4 * per_domain) (List.length recs);
+  let seen = Array.make_matrix 4 per_domain false in
+  List.iter
+    (function
+      | Recorder.Revent _ -> Alcotest.fail "unexpected event in ring"
+      | Recorder.Rspan s -> (
+          match
+            ( List.assoc_opt "emitter" s.Span.attrs,
+              List.assoc_opt "seq" s.Span.attrs )
+          with
+          | Some (Attr.Int e), Some (Attr.Int i) ->
+              check string "payload name intact" "hammer" s.Span.name;
+              if seen.(e).(i) then
+                Alcotest.failf "duplicate record emitter=%d seq=%d" e i;
+              seen.(e).(i) <- true
+          | _ -> Alcotest.fail "torn record: emitter/seq attrs missing"))
+    recs;
+  Array.iteri
+    (fun e row ->
+      Array.iteri
+        (fun i present ->
+          if not present then Alcotest.failf "lost push emitter=%d seq=%d" e i)
+        row)
+    seen
+
+let test_recorder_dump_and_anomaly_cap () =
+  let r = Recorder.create ~stripes:1 ~capacity:8 ~dump_limit:2 () in
+  let sink = Recorder.sink r in
+  (match rspan ~id:1 ~start_s:1. ~task:1 with
+  | Recorder.Rspan s -> sink.Sink.on_span s
+  | Recorder.Revent _ -> assert false);
+  let reg = Registry.create () in
+  Metric.incr (Registry.counter reg ~help:"h" "dumped_total");
+  Metric.observe (Registry.histogram reg ~buckets:[| 1. |] ~help:"h" "lat_s") 0.5;
+  Recorder.set_registries r (fun () -> [ ("test", reg) ]);
+  let path = Filename.temp_file "distlock_rec" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Recorder.set_dump_dest r (fun () -> oc);
+      Recorder.set_global (Some r);
+      Fun.protect
+        ~finally:(fun () ->
+          Recorder.set_global None;
+          close_out oc)
+        (fun () ->
+          Recorder.anomaly ~reason:"first";
+          Recorder.anomaly ~reason:"second";
+          Recorder.anomaly ~reason:"third (over the cap)");
+      check int "every anomaly counted" 3 (Recorder.dump_count r);
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      check int "dump cap held: 2 headers" 2
+        (List.length
+           (List.filter (fun l -> contains l {|"type":"flight_dump"|}) lines));
+      check bool "header carries the gc snapshot" true
+        (List.exists (fun l -> contains l {|"minor_words"|}) lines);
+      check bool "buffered span dumped" true
+        (List.exists (fun l -> contains l {|"name":"hammer"|}) lines);
+      check bool "counter snapshot present" true
+        (List.exists
+           (fun l ->
+             contains l {|"name":"dumped_total"|} && contains l {|"value":1|})
+           lines);
+      check bool "histogram snapshot carries buckets" true
+        (List.exists
+           (fun l ->
+             contains l {|"name":"lat_s"|}
+             && contains l {|"cumulative":[1,1]|}
+             && contains l {|"sum":0.5|})
+           lines))
+
+let test_anomaly_uninstalled_noop () =
+  Recorder.set_global None;
+  (* Must not raise or print; there is nothing installed. *)
+  Recorder.anomaly ~reason:"nobody home"
+
+(* ------------------------------------------------------------------ *)
 (* Engine Stats on top of the registry *)
 
 let test_stats_zero_decisions () =
@@ -462,6 +696,20 @@ let () =
             test_registry_concurrent_get_or_create;
           Alcotest.test_case "atomic instruments" `Quick
             test_counter_atomic_under_domains;
+        ] );
+      ( "mono clock",
+        [ Alcotest.test_case "nondecreasing" `Quick test_mono_nondecreasing ] );
+      ( "chrome trace",
+        [ Alcotest.test_case "export shape" `Quick test_trace_export_shape ] );
+      ( "flight recorder",
+        [
+          Alcotest.test_case "ring wrap" `Quick test_recorder_ring_wrap;
+          Alcotest.test_case "multi-domain hammer" `Quick
+            test_recorder_multi_domain_hammer;
+          Alcotest.test_case "dump + anomaly cap" `Quick
+            test_recorder_dump_and_anomaly_cap;
+          Alcotest.test_case "anomaly uninstalled" `Quick
+            test_anomaly_uninstalled_noop;
         ] );
       ( "engine stats",
         [
