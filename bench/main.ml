@@ -1004,6 +1004,99 @@ let e18 () =
   metric_f "recorder_overhead_ratio" (ratio t_recorder);
   metric_f "full_overhead_ratio" (ratio t_full)
 
+(* E19: the static-safe/dynamic-unsafe gap. A corpus of two-phase
+   systems the decision engine proves safe is run through the
+   event-driven simulator's leased lock backend with worker crashes
+   injected: a crashed holder's leases expire after the TTL and pass to
+   waiters, the dead worker resumes believing it still holds them, and
+   the committed history overlaps two locked sections — illegal, hence
+   outside the static verdict's quantifier, and non-serializable. The
+   sweep shows the gap shrinking to exactly zero as the TTL reaches the
+   downtime (a holder then always resumes before expiry) and with
+   faults off; the bakery backend (no expiry) never shows it at all. *)
+
+let e19 () =
+  rule
+    "E19 (faults): statically-safe corpus under leased locks with crash \
+     injection";
+  let module Sim = Distlock_sim in
+  let rng = Random.State.make [| 42 |] in
+  let mk_db () =
+    let db = Database.create () in
+    Database.add_all db
+      (List.init 8 (fun i -> (Printf.sprintf "e%d" i, 1 + (i mod 4))));
+    db
+  in
+  let corpus =
+    List.init 12 (fun _ ->
+        Sim.Workload.make rng ~db:(mk_db ()) ~style:Sim.Workload.Two_phase
+          ~num_txns:4 ~entities_per_txn:3)
+  in
+  let all_safe = List.for_all Sim.Workload.proven_safe corpus in
+  let seeds = List.init 12 Fun.id in
+  let down_time = 24 in
+  let scenario ?ttl ?(crash = 0.08) ?(backend = Sim.Scenario.Leased) () =
+    {
+      Sim.Scenario.backend;
+      latency = Sim.Latency.make (Sim.Latency.Uniform (1, 3));
+      lease_ttl = ttl;
+      crash_rate = crash;
+      down_time;
+      max_aborts = 1000;
+    }
+  in
+  (* Aggregate (violations, completed runs, expiries, stale unlocks)
+     over the corpus; faulty scenarios never take the proven-safe
+     shortcut, so every history gets the full conflict check. *)
+  let sweep sc =
+    List.fold_left
+      (fun (v, r, e, st) sys ->
+        let s = Sim.Esim.measure ~scenario:sc ~seeds sys in
+        ( v + s.Sim.Esim.violations,
+          r + s.Sim.Esim.runs,
+          e + s.Sim.Esim.total_expiries,
+          st + s.Sim.Esim.total_stale_unlocks ))
+      (0, 0, 0, 0) corpus
+  in
+  let gap (v, r, _, _) =
+    if r = 0 then 0. else float_of_int v /. float_of_int r
+  in
+  pf "corpus: %d two-phase systems, all proven safe statically: %b\n"
+    (List.length corpus) all_safe;
+  pf "scenario: leased backend, latency 1-3, crash rate 0.08, downtime %d\n\n"
+    down_time;
+  let ttls = [ 2; 6; 12; down_time ] in
+  let per_ttl =
+    List.map
+      (fun ttl ->
+        let ((v, r, e, st) as agg) = sweep (scenario ~ttl ()) in
+        pf
+          "ttl %3d: %3d/%3d non-serializable (gap %.3f)  %4d lease \
+           expiries, %4d stale unlocks\n"
+          ttl v r (gap agg) e st;
+        metric_f (Printf.sprintf "ttl%d_gap" ttl) (gap agg);
+        metric_i (Printf.sprintf "ttl%d_expiries" ttl) e;
+        (ttl, agg))
+      ttls
+  in
+  let off = sweep (scenario ~ttl:2 ~crash:0. ()) in
+  pf "faults off: gap %.3f\n" (gap off);
+  let bakery = sweep (scenario ~backend:Sim.Scenario.Bakery ()) in
+  pf "bakery backend (crashes on): gap %.3f\n" (gap bakery);
+  let rerun = sweep (scenario ~ttl:6 ()) in
+  let deterministic = rerun = snd (List.nth per_ttl 1) in
+  pf "bit-deterministic re-run (ttl 6): %b\n" deterministic;
+  param_i "corpus_systems" (List.length corpus);
+  param_i "seeds_per_system" (List.length seeds);
+  param_i "down_time" down_time;
+  param_s "latency" "1-3";
+  metric_b "corpus_statically_safe" all_safe;
+  metric_f "gap_small_ttl" (gap (snd (List.hd per_ttl)));
+  metric_f "gap_infinite_ttl" (gap (snd (List.nth per_ttl 3)));
+  metric_f "gap_faults_off" (gap off);
+  metric_f "bakery_gap" (gap bakery);
+  metric_b "deterministic" deterministic
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks *)
 
@@ -1102,7 +1195,7 @@ let experiments =
     ("E5", e5); ("E6", e6); ("E7", e7); ("E8", e8); ("E8b", e8b);
     ("E8c", e8c); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E18", e18) ]
+    ("E18", e18); ("E19", e19) ]
 
 (* Host metadata, so an archived BENCH_results.json says what machine
    and build produced it. *)
@@ -1195,7 +1288,7 @@ let () =
          (J.Obj
             [
               ("harness", J.Str "distlock-bench");
-              ("version", J.Str "1.6.0");
+              ("version", J.Str "1.7.0");
               ("host", host_json ());
               ("experiments", J.List records);
             ]));

@@ -911,10 +911,26 @@ let plane_cmd =
     Term.(const run $ obs_setup $ file_arg)
 
 let simulate_cmd =
-  let run () file seeds trace_file =
+  let run () file seeds backend lease_ttl crash_rate down_time latency sites
+      trace_file =
     let sys = load_system file in
+    let sys =
+      match sites with
+      | None -> sys
+      | Some n -> Distlock_sim.Scenario.spread_sites sys ~sites:n
+    in
+    let scenario =
+      {
+        Distlock_sim.Scenario.default with
+        Distlock_sim.Scenario.backend;
+        latency;
+        lease_ttl;
+        crash_rate;
+        down_time;
+      }
+    in
     let summary =
-      Distlock_sim.Workload.measure ~seeds:(List.init seeds Fun.id) sys
+      Distlock_sim.Esim.measure ~scenario ~seeds:(List.init seeds Fun.id) sys
     in
     (match trace_file with
     | None -> ()
@@ -924,17 +940,99 @@ let simulate_cmd =
         let oc = open_out path in
         for seed = 0 to seeds - 1 do
           match
-            Distlock_sim.Engine.run ~policy:(Distlock_sim.Engine.Random seed)
-              ~check_serializability:false sys
+            Distlock_sim.Esim.run ~policy:(Distlock_sim.Engine.Random seed)
+              ~scenario ~check_serializability:false sys
           with
-          | Ok o -> Distlock_sim.Trace.write_jsonl ~seed sys oc o.trace
+          | Ok o ->
+              Distlock_sim.Trace.write_jsonl ~seed sys oc
+                o.Distlock_sim.Esim.trace
           | Error _ -> ()
         done;
         close_out oc);
-    Format.printf "%a@." Distlock_sim.Workload.pp_summary summary
+    Format.printf "%a@." Distlock_sim.Esim.pp_summary summary
   in
   let seeds =
     Arg.(value & opt int 20 & info [ "seeds" ] ~doc:"Number of seeded runs")
+  in
+  let backend_conv =
+    let parse s =
+      match Distlock_sim.Scenario.backend_of_string s with
+      | Ok b -> Ok b
+      | Error m -> Error (`Msg m)
+    in
+    let print ppf b =
+      Format.pp_print_string ppf (Distlock_sim.Scenario.backend_to_string b)
+    in
+    Arg.conv (parse, print)
+  in
+  let backend =
+    Arg.(
+      value
+      & opt backend_conv Distlock_sim.Scenario.Instant
+      & info [ "backend" ] ~docv:"KIND"
+          ~doc:
+            "Lock backend: $(b,instant) (legacy in-memory manager, locks \
+             never lost), $(b,leased) (TTL leases; a crashed holder's \
+             locks expire and pass to waiters), or $(b,bakery) \
+             (arrival-order tickets, no expiry)")
+  in
+  let lease_ttl =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "lease-ttl" ] ~docv:"TICKS"
+          ~doc:
+            (Printf.sprintf
+               "Lease TTL for the leased backend: ticks a crashed \
+                holder's locks survive before being granted to waiters \
+                (default %d)"
+               Distlock_sim.Scenario.default_ttl))
+  in
+  let crash_rate =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "crash-rate" ] ~docv:"P"
+          ~doc:
+            "Probability a worker crashes after each executed step \
+             (default 0 — no fault injection); it resumes after \
+             $(b,--down-time) ticks still believing it holds its locks")
+  in
+  let down_time =
+    Arg.(
+      value
+      & opt int 16
+      & info [ "down-time" ] ~docv:"TICKS"
+          ~doc:"How long a crashed worker stays down (default 16)")
+  in
+  let latency_conv =
+    let parse s =
+      try Ok (Distlock_sim.Latency.of_string s)
+      with _ ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "invalid latency %S (use none, a constant, or LO-HI)" s))
+    in
+    Arg.conv (parse, Distlock_sim.Latency.pp)
+  in
+  let latency =
+    Arg.(
+      value
+      & opt latency_conv Distlock_sim.Latency.none
+      & info [ "latency" ] ~docv:"SPEC"
+          ~doc:
+            "Cross-site message latency in ticks: $(b,none), a constant \
+             ($(b,3)), or a uniform range ($(b,1-5))")
+  in
+  let sites =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sites" ] ~docv:"N"
+          ~doc:
+            "Respread the system's entities round-robin over $(docv) \
+             sites before simulating (names and transactions preserved)")
   in
   let trace_file =
     Arg.(
@@ -947,14 +1045,16 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the lock-manager simulator on a system")
-    Term.(const run $ obs_setup_no_trace $ file_arg $ seeds $ trace_file)
+    Term.(
+      const run $ obs_setup_no_trace $ file_arg $ seeds $ backend $ lease_ttl
+      $ crash_rate $ down_time $ latency $ sites $ trace_file)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval
        (Cmd.group ~default
-          (Cmd.info "distlock" ~version:"1.6.0"
+          (Cmd.info "distlock" ~version:"1.7.0"
              ~doc:"Safety of distributed locked transactions (Kanellakis & \
                    Papadimitriou 1982)")
           [ advise_cmd; batch_cmd; check_cmd; analyze_cmd; dgraph_cmd;

@@ -371,3 +371,37 @@ let census ?(limit = default_limit) sys = run Census limit sys
 let has_deadlock sys =
   let _, st = run Deadlock max_int sys in
   st.deadlocked > 0
+
+(* The oracle's per-state deadlock predicate ([enabled] over every
+   pending step), evaluated on an externally supplied state instead of
+   the search context — the online form a running simulator consults.
+   A re-entrant Lock (holder = self) counts as enabled: a worker that
+   believes it holds the entity can proceed, whatever the lock manager
+   thinks. *)
+let deadlocked_now sys ~executed ~holder =
+  let n = System.num_txns sys in
+  let any_enabled = ref false and all_done = ref true in
+  for i = 0 to n - 1 do
+    let txn = System.txn sys i in
+    let k = Txn.num_steps txn in
+    for s = 0 to k - 1 do
+      if not (executed i s) then begin
+        all_done := false;
+        if not !any_enabled then begin
+          let preds_ok = ref true in
+          for p = 0 to k - 1 do
+            if Txn.precedes txn p s && not (executed i p) then preds_ok := false
+          done;
+          if !preds_ok then
+            let step = Txn.step txn s in
+            match step.Step.action with
+            | Step.Lock -> (
+                match holder step.Step.entity with
+                | None -> any_enabled := true
+                | Some h -> if h = i then any_enabled := true)
+            | Step.Unlock | Step.Update -> any_enabled := true
+        end
+      end
+    done
+  done;
+  (not !all_done) && not !any_enabled

@@ -56,3 +56,19 @@ val has_deadlock : System.t -> bool
     done masks only, with an early exit at the first deadlocked state.
     Exhaustive but memoized: the mask graph is exponentially smaller
     than the schedule tree. *)
+
+val deadlocked_now :
+  System.t ->
+  executed:(int -> int -> bool) ->
+  holder:(Database.entity -> int option) ->
+  bool
+(** The per-state deadlock predicate {!has_deadlock} searches with,
+    exposed for online use: given the current execution state —
+    [executed i s] tells whether transaction [i] has executed step [s],
+    [holder e] who holds entity [e] — is some transaction unfinished
+    while no pending step of any transaction is enabled? A Lock step is
+    enabled when its entity is free or already held by its own
+    transaction; Unlock/Update steps are enabled once their
+    predecessors have executed. This is the simulator's wait-for
+    detector: it fires exactly on the states the offline search counts
+    as [deadlocked]. *)

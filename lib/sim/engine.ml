@@ -425,15 +425,17 @@ let run ?(policy = Round_robin) ?(max_aborts = 1000) ?(cross_site_delay = 0)
   Obs.end_span sp;
   out
 
-let violation_rate ?(policy_seeds = List.init 100 Fun.id) sys =
-  let total = List.length policy_seeds in
-  let bad =
-    List.length
-      (List.filter
-         (fun seed ->
-           match run ~policy:(Random seed) sys with
-           | Ok o -> not o.serializable
-           | Error _ -> false)
-         policy_seeds)
-  in
-  float_of_int bad /. float_of_int (max 1 total)
+let violation_runs ?(policy_seeds = List.init 100 Fun.id) ?max_aborts sys =
+  List.fold_left
+    (fun (bad, completed, errored) seed ->
+      match run ~policy:(Random seed) ?max_aborts sys with
+      | Ok o -> ((bad + if o.serializable then 0 else 1), completed + 1, errored)
+      | Error _ -> (bad, completed, errored + 1))
+    (0, 0, 0) policy_seeds
+
+(* Errored runs (abort-budget livelocks) commit no history, so they can
+   witness neither serializability nor its violation: they are excluded
+   from the denominator rather than silently counted as non-violating. *)
+let violation_rate ?policy_seeds ?max_aborts sys =
+  let bad, completed, _errored = violation_runs ?policy_seeds ?max_aborts sys in
+  if completed = 0 then 0. else float_of_int bad /. float_of_int completed

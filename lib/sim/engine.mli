@@ -59,8 +59,19 @@ val run :
     legal schedule is then serializable by definition, so [serializable]
     is reported [true] without the O(n²) conflict-graph pass. *)
 
+val violation_runs :
+  ?policy_seeds:int list -> ?max_aborts:int -> System.t -> int * int * int
+(** [(violations, completed, errored)] over the seeded runs (default
+    seeds [0..99]): non-serializable committed histories, runs that
+    committed at all, and runs that died on the abort budget
+    ([max_aborts], default [1000] as in {!run}). *)
+
 val violation_rate :
-  ?policy_seeds:int list -> System.t -> float
-(** Fraction of seeded random runs whose committed history is not
-    serializable (default seeds [0..99]). [0.] is expected for safe
-    systems; unsafe systems typically show a positive rate. *)
+  ?policy_seeds:int list -> ?max_aborts:int -> System.t -> float
+(** Fraction of *completed* seeded random runs whose committed history
+    is not serializable (default seeds [0..99]). Runs that return
+    [Error] commit no history and witness nothing, so they are excluded
+    from the denominator (they used to be silently counted as
+    non-violating); [0.] when no run completes. Use {!violation_runs}
+    to see the error count. [0.] is expected for safe systems; unsafe
+    systems typically show a positive rate. *)

@@ -1,0 +1,730 @@
+open Distlock_txn
+open Distlock_sched
+module Obs = Distlock_obs.Obs
+module A = Distlock_obs.Attr
+module M = Distlock_obs.Metric
+
+(* The layered event-driven simulator: a Clock of timestamped events
+   drives scheduling decisions, lock traffic goes through a pluggable
+   Backend, message costs come from a Latency model, and faults from a
+   Scenario. With the instant backend, zero latency, and no faults, the
+   event chain degenerates to one Decide per tick whose body mirrors
+   [Engine.run]'s loop iteration statement for statement — the refactor
+   safety net test/test_esim.ml checks that equivalence bit-for-bit.
+
+   RNG discipline: three independent streams, so enabling one knob never
+   perturbs another. The policy stream is seeded exactly as the legacy
+   engine's ([| seed |]) and drawn once per decision with a non-empty
+   choice set; the fault and latency streams are domain-salted and drawn
+   only when crash_rate > 0 / latency is non-zero. Everything else is
+   arrays indexed by dense ids — no Hashtbl iteration anywhere a
+   decision depends on. *)
+
+let m_runs () =
+  Distlock_obs.Registry.counter Obs.global
+    ~help:"Event-driven simulator runs completed" "distlock_esim_runs_total"
+
+let m_crashes () =
+  Distlock_obs.Registry.counter Obs.global
+    ~help:"Worker crash events injected" "distlock_sim_crashes_total"
+
+let m_expiries () =
+  Distlock_obs.Registry.counter Obs.global
+    ~help:"Leases expired while their holder was down"
+    "distlock_sim_lease_expiries_total"
+
+let m_stale () =
+  Distlock_obs.Registry.counter Obs.global
+    ~help:"Unlocks by a worker that no longer held the lock"
+    "distlock_sim_stale_unlocks_total"
+
+type stats = {
+  ticks : int;  (** scheduling decisions taken *)
+  makespan : int;  (** simulated time at completion *)
+  commits : int;
+  aborts : int;
+  deadlocks : int;
+  crashes : int;
+  lease_expiries : int;
+  stale_unlocks : int;
+}
+
+type outcome = {
+  history : Schedule.t;
+  serializable : bool;
+  legal : bool;
+  stats : stats;
+  trace : Trace.event list;
+}
+
+type event = Decide | Resume of int
+
+type instance = {
+  txn_index : int;
+  txn : Txn.t;
+  mutable done_ : bool array;
+  mutable done_tick : int array;
+  mutable ready_at : int array; (* per step: when its inputs have arrived *)
+  mutable executed : int;
+  mutable events : int list; (* step indices of the current attempt, reversed *)
+  mutable committed : bool;
+  mutable birth : int;
+  mutable attempt : int;
+  mutable waiting : int; (* step index of an outstanding queued lock, or -1 *)
+  mutable crashed : bool;
+  mutable loc : int; (* site of the last executed step — where the worker is *)
+  mutable pending_grants : int list; (* grants that arrived while crashed *)
+}
+
+let home_site db txn =
+  if Txn.num_steps txn = 0 then 1
+  else Database.site db (Txn.step txn 0).Step.entity
+
+let run ?(policy = Engine.Round_robin) ?(scenario = Scenario.default)
+    ?(check_serializability = true) sys =
+  let sp =
+    Obs.start_span "esim.run"
+      ~attrs:(fun () ->
+        A.str "policy"
+          (match policy with
+          | Engine.Round_robin -> "round-robin"
+          | Engine.Random seed -> Printf.sprintf "random(%d)" seed)
+        :: A.int "txns" (System.num_txns sys)
+        :: Scenario.to_attrs scenario)
+  in
+  let db = System.db sys in
+  let n = System.num_txns sys in
+  let backend = Scenario.make_backend scenario db in
+  let queueing = Backend.queues backend in
+  let latency = scenario.Scenario.latency in
+  let zero_latency = Latency.is_zero latency in
+  let faulty = not (Scenario.fault_free scenario) in
+  let instances =
+    Array.init n (fun i ->
+        let txn = System.txn sys i in
+        let k = Txn.num_steps txn in
+        {
+          txn_index = i;
+          txn;
+          done_ = Array.make k false;
+          done_tick = Array.make k 0;
+          ready_at = Array.make k 0;
+          executed = 0;
+          events = [];
+          committed = false;
+          birth = 0;
+          attempt = 1;
+          waiting = -1;
+          crashed = false;
+          loc = home_site db txn;
+          pending_grants = [];
+        })
+  in
+  (* Policy stream seeded like the legacy engine; fault and latency
+     streams salted so they cannot collide with it. *)
+  let rng =
+    match policy with
+    | Engine.Random seed -> Some (Random.State.make [| seed |])
+    | Engine.Round_robin -> None
+  in
+  let base_seed =
+    match policy with Engine.Random s -> s | Engine.Round_robin -> 0
+  in
+  let fault_rng = Random.State.make [| base_seed; 0xFA17 |] in
+  let lat_rng = Random.State.make [| base_seed; 0x1A7E |] in
+  let clock = Clock.create () in
+  let booked = ref max_int in
+  let ensure_decide time =
+    if time < !booked then begin
+      Clock.at clock ~time Decide;
+      booked := time
+    end
+  in
+  let ticks = ref 0
+  and aborts = ref 0
+  and blocks = ref 0
+  and crashes = ref 0
+  and expiries = ref 0
+  and stale = ref 0 in
+  let global_log = ref [] in
+  let trace = ref [] in
+  let rr_cursor = ref 0 in
+  let was_blocked = Array.make n false in
+  let result = ref None in
+  let all_committed () = Array.for_all (fun i -> i.committed) instances in
+  let now () = Clock.now clock in
+  let fresh_attempt inst =
+    let k = Txn.num_steps inst.txn in
+    inst.done_ <- Array.make k false;
+    inst.done_tick <- Array.make k 0;
+    inst.ready_at <- Array.make k 0;
+    inst.executed <- 0;
+    inst.events <- [];
+    inst.birth <- now ();
+    inst.attempt <- inst.attempt + 1;
+    inst.waiting <- -1;
+    inst.pending_grants <- [];
+    inst.loc <- home_site db inst.txn
+  in
+  (* `Ready: predecessors executed and their results have arrived;
+     `Awaiting_message: executed but a notification is still in flight;
+     `Blocked_order: some predecessor has not run. Mirrors the legacy
+     [pred_status] with sampled arrival times in place of a constant
+     delay. *)
+  let pred_status inst s =
+    let status = ref `Ready in
+    for p = 0 to Txn.num_steps inst.txn - 1 do
+      if Txn.precedes inst.txn p s && not inst.done_.(p) then
+        status := `Blocked_order
+    done;
+    if !status = `Ready && inst.ready_at.(s) > now () then `Awaiting_message
+    else !status
+  in
+  let enabled_steps inst =
+    if inst.committed || inst.crashed then []
+    else begin
+      let acc = ref [] in
+      for s = 0 to Txn.num_steps inst.txn - 1 do
+        if (not inst.done_.(s)) && pred_status inst s = `Ready then begin
+          let step = Txn.step inst.txn s in
+          match step.Step.action with
+          | Step.Lock ->
+              if queueing then begin
+                (* One outstanding request per worker: while queued it
+                   issues no further locks (other actions still run). *)
+                if inst.waiting < 0 then acc := s :: !acc
+              end
+              else begin
+                match Backend.holder backend step.Step.entity with
+                | Some h when h <> inst.txn_index -> () (* blocked *)
+                | _ -> acc := s :: !acc
+              end
+          | Step.Unlock | Step.Update -> acc := s :: !acc
+        end
+      done;
+      List.rev !acc
+    end
+  in
+  let awaiting_message inst =
+    (not inst.committed)
+    && (not inst.crashed)
+    && begin
+         let found = ref false in
+         for s = 0 to Txn.num_steps inst.txn - 1 do
+           if (not inst.done_.(s)) && pred_status inst s = `Awaiting_message
+           then found := true
+         done;
+         !found
+       end
+  in
+  (* Wait-for edges for the deadlock victim chooser. A non-queueing
+     worker waits on the holders of entities its ready locks need (the
+     legacy scan, same accumulation order); a queueing worker waits on
+     the holder of the entity its one outstanding request is queued
+     behind. *)
+  let blocked_on inst =
+    let acc = ref [] in
+    if queueing then begin
+      if inst.waiting >= 0 then
+        let e = (Txn.step inst.txn inst.waiting).Step.entity in
+        match Backend.holder backend e with
+        | Some h when h <> inst.txn_index -> acc := h :: !acc
+        | _ -> ()
+    end
+    else
+      for s = 0 to Txn.num_steps inst.txn - 1 do
+        if (not inst.done_.(s)) && pred_status inst s = `Ready then begin
+          let step = Txn.step inst.txn s in
+          if step.Step.action = Step.Lock then
+            match Backend.holder backend step.Step.entity with
+            | Some h when h <> inst.txn_index -> acc := h :: !acc
+            | _ -> ()
+        end
+      done;
+    !acc
+  in
+  let step_attrs inst (step : Step.t) () =
+    [
+      A.int "tick" (now ());
+      A.str "txn" (Txn.name inst.txn);
+      A.str "entity" (Database.name db step.Step.entity);
+      A.int "site" (Database.site db step.Step.entity);
+      A.int "attempt" inst.attempt;
+    ]
+  in
+  (* What a lock request costs to reach the entity's site. The bakery
+     model pays two rounds (choosing, then reading the other tickets) of
+     contacting every other site; the leased manager one request
+     message. Instant never asks. *)
+  let request_cost inst dst =
+    if zero_latency || not queueing then 0
+    else
+      match Backend.name backend with
+      | "bakery" ->
+          let sites = Database.num_sites db in
+          let round src =
+            let m = ref 0 in
+            for s' = 1 to sites do
+              if s' <> src then
+                m :=
+                  max !m
+                    (Latency.sample latency lat_rng ~src ~dst:s'
+                    + Latency.sample latency lat_rng ~src:s' ~dst:src)
+            done;
+            !m
+          in
+          round inst.loc + round inst.loc
+      | _ -> Latency.sample latency lat_rng ~src:inst.loc ~dst
+  in
+  let maybe_crash inst =
+    if
+      faulty
+      && (not inst.committed)
+      && Random.State.float fault_rng 1.0 < scenario.Scenario.crash_rate
+    then begin
+      inst.crashed <- true;
+      incr crashes;
+      Backend.crash backend ~now:(now ()) ~owner:inst.txn_index;
+      Clock.after clock ~delay:scenario.Scenario.down_time
+        (Resume inst.txn_index);
+      Obs.event
+        ~attrs:(fun () ->
+          [
+            A.int "tick" (now ());
+            A.str "txn" (Txn.name inst.txn);
+            A.int "down_time" scenario.Scenario.down_time;
+          ])
+        "sim.worker.crash"
+    end
+  in
+  (* Mark step [s] executed at the current time: bookkeeping, history,
+     trace, arrival times for cross-site successors, commit, and the
+     post-step crash draw. *)
+  let complete inst s =
+    let step = Txn.step inst.txn s in
+    let site_s = Database.site db step.Step.entity in
+    inst.done_.(s) <- true;
+    inst.done_tick.(s) <- now ();
+    inst.executed <- inst.executed + 1;
+    inst.events <- s :: inst.events;
+    inst.loc <- site_s;
+    global_log := (inst.txn_index, s) :: !global_log;
+    trace :=
+      {
+        Trace.tick = now ();
+        txn = inst.txn_index;
+        step = s;
+        site = site_s;
+        attempt = inst.attempt;
+      }
+      :: !trace;
+    if not zero_latency then
+      for q = 0 to Txn.num_steps inst.txn - 1 do
+        if Txn.precedes inst.txn s q then begin
+          let site_q = Database.site db (Txn.step inst.txn q).Step.entity in
+          if site_q <> site_s then
+            inst.ready_at.(q) <-
+              max inst.ready_at.(q)
+                (now () + Latency.sample latency lat_rng ~src:site_s ~dst:site_q)
+        end
+      done;
+    if inst.executed = Txn.num_steps inst.txn then begin
+      inst.committed <- true;
+      Obs.event
+        ~attrs:(fun () ->
+          [
+            A.int "tick" (now ());
+            A.str "txn" (Txn.name inst.txn);
+            A.int "attempt" inst.attempt;
+          ])
+        "sim.txn.commit"
+    end;
+    maybe_crash inst
+  in
+  let complete_lock inst s =
+    let step = Txn.step inst.txn s in
+    Obs.event ~level:Obs.Debug ~attrs:(step_attrs inst step) "sim.lock.acquire";
+    complete inst s
+  in
+  let execute inst s =
+    let step = Txn.step inst.txn s in
+    match step.Step.action with
+    | Step.Lock -> (
+        let dst = Database.site db step.Step.entity in
+        let ready = now () + request_cost inst dst in
+        match
+          Backend.acquire backend ~now:(now ()) ~owner:inst.txn_index
+            ~ready_at:ready step.Step.entity
+        with
+        | Backend.Granted -> complete_lock inst s
+        | Backend.Queued ->
+            inst.waiting <- s;
+            Obs.event ~level:Obs.Debug ~attrs:(step_attrs inst step)
+              "sim.lock.queue")
+    | Step.Unlock ->
+        if not (Backend.release backend ~owner:inst.txn_index step.Step.entity)
+        then begin
+          (* The manager moved on without us: lease expired while we
+             were down. The worker doesn't notice and keeps going. *)
+          incr stale;
+          Obs.event ~attrs:(step_attrs inst step) "sim.lock.stale_release"
+        end;
+        Obs.event ~level:Obs.Debug ~attrs:(step_attrs inst step)
+          "sim.lock.release";
+        complete inst s
+    | Step.Update -> complete inst s
+  in
+  let handle_notice = function
+    | Backend.Expired { entity; owner } ->
+        incr expiries;
+        Obs.event
+          ~attrs:(fun () ->
+            [
+              A.int "tick" (now ());
+              A.str "entity" (Database.name db entity);
+              A.str "txn" (Txn.name instances.(owner).txn);
+            ])
+          "sim.lease.expire"
+    | Backend.Handed { entity = _; owner } ->
+        let inst = instances.(owner) in
+        let s = inst.waiting in
+        if s >= 0 then begin
+          inst.waiting <- -1;
+          if inst.crashed then
+            (* The grant arrived at a down worker; it acts on it when it
+               comes back. *)
+            inst.pending_grants <- s :: inst.pending_grants
+          else complete_lock inst s
+        end
+  in
+  let abort_victim () =
+    (* Legacy victim rule, verbatim: build the wait-for graph, find a
+       cycle, abort its youngest member; crashed workers are outside the
+       graph (they are paused, not waiting). *)
+    let wf = Distlock_graph.Digraph.create n in
+    Array.iter
+      (fun inst ->
+        if (not inst.committed) && not inst.crashed then
+          List.iter
+            (fun h -> Distlock_graph.Digraph.add_arc wf inst.txn_index h)
+            (blocked_on inst))
+      instances;
+    let victim =
+      match Distlock_graph.Topo.find_cycle wf with
+      | Some cycle ->
+          Obs.event
+            ~attrs:(fun () ->
+              [
+                A.int "tick" (now ());
+                A.str "cycle"
+                  (String.concat " -> "
+                     (List.map (fun i -> Txn.name instances.(i).txn) cycle));
+              ])
+            "sim.deadlock.detect";
+          List.fold_left
+            (fun best i ->
+              let inst = instances.(i) in
+              match best with
+              | Some v when v.birth >= inst.birth -> best
+              | _ -> Some inst)
+            None cycle
+      | None ->
+          Array.fold_left
+            (fun best inst ->
+              if
+                (not inst.committed)
+                && (not inst.crashed)
+                && blocked_on inst <> []
+              then match best with Some _ -> best | None -> Some inst
+              else best)
+            None instances
+    in
+    match victim with
+    | None -> failwith "Esim: stuck with no blocked instance"
+    | Some inst ->
+        incr aborts;
+        Obs.event
+          ~attrs:(fun () ->
+            [
+              A.int "tick" (now ());
+              A.str "txn" (Txn.name inst.txn);
+              A.int "attempt" inst.attempt;
+              A.int "wasted_steps" (List.length inst.events);
+            ])
+          "sim.txn.abort";
+        let drop = List.length inst.events in
+        global_log :=
+          (let remaining = ref drop in
+           List.filter
+             (fun (i, _) ->
+               if i = inst.txn_index && !remaining > 0 then begin
+                 decr remaining;
+                 false
+               end
+               else true)
+             !global_log);
+        Backend.forfeit backend ~owner:inst.txn_index;
+        fresh_attempt inst
+  in
+  (* One scheduling decision — the legacy loop body, with the backend
+     drained first and wake-time computation where the legacy loop spun
+     on idle ticks. *)
+  let decide () =
+    if !aborts > scenario.Scenario.max_aborts then
+      result := Some (Error "max aborts exceeded")
+    else begin
+      incr ticks;
+      let notices = Backend.drain backend ~now:(now ()) in
+      List.iter handle_notice notices;
+      if not (all_committed ()) then begin
+        let choices =
+          Array.to_list instances
+          |> List.concat_map (fun inst ->
+                 List.map (fun s -> (inst, s)) (enabled_steps inst))
+        in
+        if Obs.logs Obs.Debug then
+          Array.iter
+            (fun inst ->
+              if not inst.committed then
+                match blocked_on inst with
+                | [] -> was_blocked.(inst.txn_index) <- false
+                | holders ->
+                    if not was_blocked.(inst.txn_index) then begin
+                      was_blocked.(inst.txn_index) <- true;
+                      Obs.event ~level:Obs.Debug
+                        ~attrs:(fun () ->
+                          [
+                            A.int "tick" (now ());
+                            A.str "txn" (Txn.name inst.txn);
+                            A.str "waiting_for"
+                              (String.concat ", "
+                                 (List.sort_uniq compare
+                                    (List.map
+                                       (fun h -> Txn.name instances.(h).txn)
+                                       holders)));
+                          ])
+                        "sim.lock.block"
+                    end)
+            instances;
+        match choices with
+        | [] ->
+            if notices <> [] then
+              (* drain made progress; look again next tick *)
+              ensure_decide (now () + 1)
+            else begin
+              (* Earliest time anything can change on its own: a message
+                 arrival, or the backend expiring/granting. Crashed
+                 workers re-book the decision from their Resume event. *)
+              let wake = ref max_int in
+              Array.iter
+                (fun inst ->
+                  if awaiting_message inst then
+                    for s = 0 to Txn.num_steps inst.txn - 1 do
+                      if
+                        (not inst.done_.(s))
+                        && pred_status inst s = `Awaiting_message
+                        && inst.ready_at.(s) < !wake
+                      then wake := inst.ready_at.(s)
+                    done)
+                instances;
+              (match Backend.next_wakeup backend with
+              | Some t -> if t < !wake then wake := t
+              | None -> ());
+              if !wake < max_int then begin
+                Obs.event ~level:Obs.Debug
+                  ~attrs:(fun () -> [ A.int "tick" (now ()) ])
+                  "sim.message.wait";
+                ensure_decide (max !wake (now () + 1))
+              end
+              else if Array.exists (fun i -> i.crashed) instances then ()
+              else begin
+                (* Every live worker waits on a lock: consult the
+                   state-graph oracle's deadlock predicate online, then
+                   break the cycle as the legacy engine does. *)
+                if
+                  Stategraph.deadlocked_now sys
+                    ~executed:(fun i s -> instances.(i).done_.(s))
+                    ~holder:(Backend.holder backend)
+                then incr blocks;
+                abort_victim ();
+                ensure_decide (now () + 1)
+              end
+            end
+        | _ ->
+            (match rng with
+            | Some rng ->
+                let arr = Array.of_list choices in
+                let inst, s = arr.(Random.State.int rng (Array.length arr)) in
+                execute inst s
+            | None ->
+                let rec pick k =
+                  let idx = (!rr_cursor + k) mod n in
+                  let inst = instances.(idx) in
+                  match enabled_steps inst with
+                  | s :: _ ->
+                      rr_cursor := (idx + 1) mod n;
+                      execute inst s
+                  | [] -> pick (k + 1)
+                in
+                pick 0);
+            if not (all_committed ()) then ensure_decide (now () + 1)
+      end
+    end
+  in
+  let resume i =
+    let inst = instances.(i) in
+    inst.crashed <- false;
+    Backend.resume backend ~owner:inst.txn_index;
+    Obs.event
+      ~attrs:(fun () ->
+        [ A.int "tick" (now ()); A.str "txn" (Txn.name inst.txn) ])
+      "sim.worker.resume";
+    (* Grants that arrived while down take effect now, oldest first. *)
+    let grants = List.rev inst.pending_grants in
+    inst.pending_grants <- [];
+    List.iter (fun s -> complete_lock inst s) grants;
+    if not (all_committed ()) then ensure_decide (now () + 1)
+  in
+  ensure_decide 1;
+  let rec loop () =
+    if !result = None && not (all_committed ()) then
+      match Clock.pop clock with
+      | None -> result := Some (Error "simulation stalled")
+      | Some (t, ev) ->
+          (match ev with
+          | Decide ->
+              (* Only the earliest booked Decide is live; superseded
+                 ones (booked, then re-booked earlier) are skipped. *)
+              if t = !booked then begin
+                booked := max_int;
+                decide ()
+              end
+          | Resume i -> resume i);
+          loop ()
+  in
+  loop ();
+  let out =
+    match !result with
+    | Some err -> err
+    | None ->
+        let history = Schedule.of_events (List.rev !global_log) in
+        let serializable, legal =
+          if check_serializability then
+            ( Conflict.is_serializable sys history,
+              Legality.is_legal sys history )
+          else (true, true)
+        in
+        Ok
+          {
+            history;
+            serializable;
+            legal;
+            trace = List.rev !trace;
+            stats =
+              {
+                ticks = !ticks;
+                makespan = now ();
+                commits = n;
+                aborts = !aborts;
+                deadlocks = !blocks;
+                crashes = !crashes;
+                lease_expiries = !expiries;
+                stale_unlocks = !stale;
+              };
+          }
+  in
+  M.incr (m_runs ());
+  if !crashes > 0 then M.incr_by (m_crashes ()) !crashes;
+  if !expiries > 0 then M.incr_by (m_expiries ()) !expiries;
+  if !stale > 0 then M.incr_by (m_stale ()) !stale;
+  if Obs.enabled () then
+    Obs.add_attrs sp
+      [
+        A.int "ticks" !ticks;
+        A.int "makespan" (now ());
+        A.int "aborts" !aborts;
+        A.int "deadlocks" !blocks;
+        A.int "crashes" !crashes;
+        A.int "lease_expiries" !expiries;
+        A.str "result"
+          (match out with
+          | Ok o ->
+              if o.serializable then "serializable" else "non-serializable"
+          | Error e -> "error: " ^ e);
+      ];
+  Obs.end_span sp;
+  out
+
+type summary = {
+  runs : int;
+  errors : int;
+  violations : int;
+  illegal : int;
+  total_aborts : int;
+  total_deadlocks : int;
+  total_ticks : int;
+  total_crashes : int;
+  total_expiries : int;
+  total_stale_unlocks : int;
+}
+
+let empty_summary =
+  {
+    runs = 0;
+    errors = 0;
+    violations = 0;
+    illegal = 0;
+    total_aborts = 0;
+    total_deadlocks = 0;
+    total_ticks = 0;
+    total_crashes = 0;
+    total_expiries = 0;
+    total_stale_unlocks = 0;
+  }
+
+let measure ?(precheck = true) ?(scenario = Scenario.default)
+    ?(seeds = List.init 20 Fun.id) sys =
+  (* The static verdict quantifies over *legal* schedules, and only a
+     fault-free run is guaranteed to produce one — so the precheck
+     shortcut applies only when the scenario cannot lose locks. *)
+  let check_serializability =
+    not (precheck && Scenario.fault_free scenario && Workload.proven_safe sys)
+  in
+  List.fold_left
+    (fun acc seed ->
+      match
+        run ~policy:(Engine.Random seed) ~scenario ~check_serializability sys
+      with
+      | Error _ -> { acc with errors = acc.errors + 1 }
+      | Ok o ->
+          {
+            runs = acc.runs + 1;
+            errors = acc.errors;
+            violations = (acc.violations + if o.serializable then 0 else 1);
+            illegal = (acc.illegal + if o.legal then 0 else 1);
+            total_aborts = acc.total_aborts + o.stats.aborts;
+            total_deadlocks = acc.total_deadlocks + o.stats.deadlocks;
+            total_ticks = acc.total_ticks + o.stats.ticks;
+            total_crashes = acc.total_crashes + o.stats.crashes;
+            total_expiries = acc.total_expiries + o.stats.lease_expiries;
+            total_stale_unlocks =
+              acc.total_stale_unlocks + o.stats.stale_unlocks;
+          })
+    empty_summary seeds
+
+let violation_fraction s =
+  if s.runs = 0 then 0. else float_of_int s.violations /. float_of_int s.runs
+
+let pp_summary ppf s =
+  (* The first line is byte-compatible with [Workload.pp_summary];
+     fault-era fields appear only when something actually happened. *)
+  Format.fprintf ppf "%d runs: %d violations, %d aborts, %d deadlocks, %d ticks"
+    s.runs s.violations s.total_aborts s.total_deadlocks s.total_ticks;
+  if s.total_crashes > 0 then
+    Format.fprintf ppf ", %d crashes" s.total_crashes;
+  if s.total_expiries > 0 then
+    Format.fprintf ppf ", %d lease expiries" s.total_expiries;
+  if s.total_stale_unlocks > 0 then
+    Format.fprintf ppf ", %d stale unlocks" s.total_stale_unlocks;
+  if s.illegal > 0 then Format.fprintf ppf ", %d illegal histories" s.illegal;
+  if s.errors > 0 then Format.fprintf ppf ", %d errors" s.errors

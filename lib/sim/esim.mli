@@ -1,0 +1,87 @@
+open Distlock_txn
+open Distlock_sched
+
+(** The layered event-driven simulator.
+
+    Where {!Engine} advances in lockstep ticks with instant, infallible
+    locks, this engine pops timestamped events off a {!Clock}, routes
+    lock traffic through a pluggable {!Backend}, charges message costs
+    from a {!Latency} model, and injects worker crashes from a
+    {!Scenario}. Configured with the instant backend, zero latency, and
+    no faults it reproduces {!Engine.run} exactly — same histories, same
+    stats, same traces, seed for seed (the qcheck equivalence property
+    in [test/test_esim.ml] holds it to that) — so the legacy engine's
+    behaviour is one point in this engine's configuration space.
+
+    With the leased backend and crashes enabled, committed histories can
+    be {e illegal} (two holders of one entity at once, after a lease is
+    lost) and therefore non-serializable even for systems the static
+    checker proves safe: the static verdict quantifies over legal
+    schedules only. Bench E19 measures that gap. *)
+
+type stats = {
+  ticks : int;  (** Scheduling decisions taken (= legacy ticks when
+                    fault-free at zero latency). *)
+  makespan : int;  (** Simulated time at completion; exceeds [ticks]
+                       when latency or downtime left the clock idle. *)
+  commits : int;
+  aborts : int;
+  deadlocks : int;
+  crashes : int;  (** Worker crash events injected. *)
+  lease_expiries : int;  (** Leases the backend expired. *)
+  stale_unlocks : int;  (** Unlocks by a worker that had lost the lock. *)
+}
+
+type outcome = {
+  history : Schedule.t;
+  serializable : bool;
+  legal : bool;
+      (** Whether the committed history is even a legal schedule; lost
+          leases typically make it illegal (overlapping locked
+          sections), which is how non-serializability sneaks past the
+          static verdict. *)
+  stats : stats;
+  trace : Trace.event list;
+}
+
+val run :
+  ?policy:Engine.policy ->
+  ?scenario:Scenario.t ->
+  ?check_serializability:bool ->
+  System.t ->
+  (outcome, string) result
+(** One seeded run to completion. Deterministic: the same policy and
+    scenario produce bit-identical outcomes. Three independent RNG
+    streams (policy — seeded exactly as {!Engine.run}'s —, faults,
+    latency) keep each knob from perturbing the others. [Error] carries
+    ["max aborts exceeded"] past [scenario.max_aborts] restarts. *)
+
+type summary = {
+  runs : int;  (** Runs that completed (errors excluded). *)
+  errors : int;  (** Runs that exceeded the abort budget. *)
+  violations : int;  (** Non-serializable committed histories. *)
+  illegal : int;  (** Committed histories that are not legal schedules. *)
+  total_aborts : int;
+  total_deadlocks : int;
+  total_ticks : int;
+  total_crashes : int;
+  total_expiries : int;
+  total_stale_unlocks : int;
+}
+
+val measure :
+  ?precheck:bool -> ?scenario:Scenario.t -> ?seeds:int list -> System.t ->
+  summary
+(** {!run} once per seed and aggregate. The {!Workload.proven_safe}
+    precheck shortcut (skipping per-history serializability checks) is
+    taken only when the scenario is fault-free: static verdicts cover
+    legal schedules only, and a faulty scenario can commit illegal
+    ones. *)
+
+val violation_fraction : summary -> float
+(** [violations / runs]; [0.] when no run completed. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** First line byte-compatible with {!Workload.pp_summary}; crash,
+    expiry, stale-unlock, illegal-history, and error counts appear only
+    when non-zero. *)

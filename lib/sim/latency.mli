@@ -1,0 +1,34 @@
+(** The simulator's site model: per-site message-latency distributions.
+
+    Messages between transactions at different sites (lock requests,
+    grants, cross-site step notifications) cost a sampled number of
+    ticks; same-site messages use a separate local distribution
+    (zero by default). Latency draws take an explicit RNG so callers
+    can keep them off the scheduling-policy stream. *)
+
+type dist =
+  | Zero
+  | Constant of int  (** every message costs exactly [n] ticks *)
+  | Uniform of int * int  (** inclusive range, sampled uniformly *)
+
+type t = { local_ : dist; remote : dist }
+
+val none : t
+(** Zero latency everywhere — the legacy engine's implicit model. *)
+
+val make : ?local:dist -> dist -> t
+(** [make remote] with local traffic free unless [?local] is given. *)
+
+val is_zero : t -> bool
+
+val sample : t -> Random.State.t -> src:int -> dst:int -> int
+(** One-way cost of a message from site [src] to site [dst]. *)
+
+val of_string : string -> t
+(** Parses ["none"], a constant (["3"]), or a uniform range (["1-5"]) as
+    the remote distribution. Raises [Invalid_argument] or [Failure] on
+    malformed input. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -4,9 +4,9 @@ type event = { tick : int; txn : int; step : int; site : int; attempt : int }
 
 type txn_metrics = {
   txn : int;
-  attempts : int;
-  first_start : int;
-  commit : int;
+  attempts : int; (* 0 = never started *)
+  first_start : int option;
+  commit : int option;
   steps_executed : int;
   wasted_steps : int;
 }
@@ -27,8 +27,11 @@ let analyze sys events =
   let txns =
     List.init n (fun i ->
         let evs = List.rev per_txn.(i) in
+        (* No events means the transaction never started: attempts is 0
+           and start/commit are absent, distinguishable from one that
+           committed at tick 0. *)
         let attempts =
-          List.fold_left (fun m (e : event) -> max m e.attempt) 1 evs
+          List.fold_left (fun m (e : event) -> max m e.attempt) 0 evs
         in
         let committed_steps =
           List.length (List.filter (fun (e : event) -> e.attempt = attempts) evs)
@@ -37,9 +40,13 @@ let analyze sys events =
           txn = i;
           attempts;
           first_start =
-            (match evs with [] -> 0 | (e : event) :: _ -> e.tick);
+            (match evs with [] -> None | (e : event) :: _ -> Some e.tick);
           commit =
-            List.fold_left (fun m (e : event) -> max m e.tick) 0 evs;
+            (match evs with
+            | [] -> None
+            | _ ->
+                Some
+                  (List.fold_left (fun m (e : event) -> max m e.tick) 0 evs));
           steps_executed = List.length evs;
           wasted_steps = List.length evs - committed_steps;
         })
@@ -105,10 +112,15 @@ let pp_report sys ppf r =
   Format.fprintf ppf "@[<v>makespan: %d ticks@," r.makespan;
   List.iter
     (fun m ->
-      Format.fprintf ppf
-        "%s: start %d, commit %d, %d attempt(s), %d steps (%d wasted)@,"
-        (Txn.name (System.txn sys m.txn))
-        m.first_start m.commit m.attempts m.steps_executed m.wasted_steps)
+      match (m.first_start, m.commit) with
+      | Some start, Some commit ->
+          Format.fprintf ppf
+            "%s: start %d, commit %d, %d attempt(s), %d steps (%d wasted)@,"
+            (Txn.name (System.txn sys m.txn))
+            start commit m.attempts m.steps_executed m.wasted_steps
+      | _ ->
+          Format.fprintf ppf "%s: never started@,"
+            (Txn.name (System.txn sys m.txn)))
     r.txns;
   List.iter
     (fun s ->

@@ -17,9 +17,13 @@ type event = {
 
 type txn_metrics = {
   txn : int;
-  attempts : int;
-  first_start : int;  (** tick of the first step of the first attempt *)
-  commit : int;  (** tick of the last step of the committed attempt *)
+  attempts : int;  (** [0] when the transaction never started. *)
+  first_start : int option;
+      (** Tick of the first step of the first attempt; [None] when the
+          transaction executed no step at all. *)
+  commit : int option;
+      (** Tick of the last step of the committed attempt; [None] when
+          the transaction never started. *)
   steps_executed : int;  (** including aborted attempts' steps *)
   wasted_steps : int;  (** steps of attempts that were aborted *)
 }

@@ -30,6 +30,12 @@ type summary = {
   total_ticks : int;
 }
 
+val proven_safe : System.t -> bool
+(** Whether the shared safety-decision engine (cached, 200k-step budget)
+    proves the system safe — [false] for unsafe {e and} undecided.
+    {!measure} and {!Esim.measure} use it to skip per-history
+    serializability checks on fault-free runs. *)
+
 val measure : ?precheck:bool -> ?seeds:int list -> System.t -> summary
 (** Run the engine once per seed and aggregate. With [precheck] (the
     default) the system is first decided by the safety engine

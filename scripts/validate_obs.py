@@ -222,6 +222,8 @@ def check_bench(path):
             check_e17(e)
         if e["id"] == "E18":
             check_e18(e)
+        if e["id"] == "E19":
+            check_e19(e)
 
 
 def check_e15(e):
@@ -312,6 +314,31 @@ def check_e18(e):
     if m["recorder_overhead_ratio"] >= 1.05:
         die(f"E18: recorder overhead {m['recorder_overhead_ratio']:.3f}x "
             "at or above the 1.05x bar")
+
+
+def check_e19(e):
+    """The fault-injection artifact: on a corpus the decision engine
+    proves safe, leased locks with crashes must produce non-serializable
+    histories at small TTLs (the static-safe/dynamic-unsafe gap), and
+    the gap must vanish exactly when the TTL covers the downtime, when
+    faults are off, and under the expiry-free bakery backend. The whole
+    sweep must be bit-deterministic."""
+    m = e["metrics"]
+    need(e["params"], ["corpus_systems", "seeds_per_system", "down_time"],
+         "E19.params")
+    need(m, ["corpus_statically_safe", "gap_small_ttl", "gap_infinite_ttl",
+             "gap_faults_off", "bakery_gap", "deterministic"], "E19.metrics")
+    if m["corpus_statically_safe"] is not True:
+        die("E19: corpus not statically proven safe — the gap would be "
+            "meaningless")
+    if m["gap_small_ttl"] <= 0:
+        die("E19: no non-serializable histories at small TTL; the "
+            "static-safe/dynamic-unsafe gap did not appear")
+    for k in ("gap_infinite_ttl", "gap_faults_off", "bakery_gap"):
+        if m[k] != 0:
+            die(f"E19: {k} is {m[k]}, expected exactly 0")
+    if m["deterministic"] is not True:
+        die("E19: re-run with the same seeds diverged")
 
 
 def main():
