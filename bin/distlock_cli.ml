@@ -82,8 +82,34 @@ let install_recorder () =
   Distlock_obs.Recorder.set_global (Some r);
   Distlock_obs.Recorder.sink r
 
-let setup_obs span_trace chrome metrics level =
+(* The same registry set the flight recorder snapshots — evaluated per
+   request, so engines created after the server starts are scraped too. *)
+let serve_registries () =
+  ("global", Obs.global)
+  :: List.map
+       (fun e -> ("engine", E.Stats.registry (Decision.stats e)))
+       !metric_engines
+  @ List.map (fun s -> ("session", E.Stats.registry s)) !metric_stats
+
+let start_metrics_server port =
+  match Distlock_obs.Expose.start ~port ~registries:serve_registries () with
+  | Ok srv ->
+      (* The bound port goes to stderr so it never perturbs stdout
+         expectations; with --metrics-port 0 it is the only way to learn
+         the ephemeral port. *)
+      Printf.eprintf "metrics: serving on http://127.0.0.1:%d/metrics\n%!"
+        (Distlock_obs.Expose.port srv);
+      at_exit (fun () -> Distlock_obs.Expose.stop srv);
+      srv
+  | Error msg ->
+      Printf.eprintf "distlock: %s\n" msg;
+      exit 2
+
+let setup_obs span_trace chrome metrics metrics_port level =
   Obs.set_level level;
+  (match metrics_port with
+  | None -> ()
+  | Some port -> ignore (start_metrics_server port));
   let sinks = ref [ install_recorder () ] in
   (match span_trace with
   | None -> ()
@@ -121,6 +147,17 @@ let metrics_arg =
            stage latency histograms, simulator totals) to $(docv) in \
            Prometheus text exposition format")
 
+let metrics_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "metrics-port" ] ~docv:"PORT"
+        ~doc:
+          "Serve live telemetry over HTTP on 127.0.0.1:$(docv) for the \
+           duration of the run: $(b,/metrics) (Prometheus text), \
+           $(b,/healthz), and $(b,/vars) (JSON snapshot). Port 0 picks a \
+           free port; the bound address is printed to stderr")
+
 let log_level_arg =
   Arg.(
     value
@@ -156,13 +193,13 @@ let obs_setup =
              simulator lifecycle) as JSON Lines to $(docv)")
   in
   Term.(const setup_obs $ span_trace $ chrome_trace_arg $ metrics_arg
-        $ log_level_arg)
+        $ metrics_port_arg $ log_level_arg)
 
 (* Reduced setup for `simulate`, which owns the --trace flag (the step
    stream) but still exports its spans via --chrome-trace. *)
 let obs_setup_no_trace =
   Term.(const setup_obs $ const None $ chrome_trace_arg $ metrics_arg
-        $ log_level_arg)
+        $ metrics_port_arg $ log_level_arg)
 
 let print_stats (o : Decision.evidence E.Outcome.t) =
   Format.printf "--@.procedure: %s%s@." (E.Outcome.provenance o)
@@ -281,6 +318,41 @@ let json_of_report (r : E.Engine.batch_report) =
       );
     ]
 
+(* Engine counters and per-stage timing quantiles for --json --stats. *)
+let json_of_stats st =
+  let qs = E.Stats.quantiles st in
+  J.Obj
+    [
+      ("decisions", J.Int (E.Stats.decisions st));
+      ("unknowns", J.Int (E.Stats.unknowns st));
+      ("cache_hits", J.Int (E.Stats.cache_hits st));
+      ("cache_misses", J.Int (E.Stats.cache_misses st));
+      ( "stages",
+        J.List
+          (List.map
+             (fun (s : E.Stats.stage) ->
+               let q50, q90, q99 =
+                 match List.assoc_opt s.E.Stats.stage_name qs with
+                 | Some t -> t
+                 | None -> (Float.nan, Float.nan, Float.nan)
+               in
+               J.Obj
+                 [
+                   ("stage", J.Str s.E.Stats.stage_name);
+                   ("runs", J.Int s.E.Stats.attempts);
+                   ("safe", J.Int s.E.Stats.decided_safe);
+                   ("unsafe", J.Int s.E.Stats.decided_unsafe);
+                   ("passed", J.Int s.E.Stats.passed);
+                   ("errors", J.Int s.E.Stats.errors);
+                   ("skipped", J.Int s.E.Stats.skipped);
+                   ("seconds", J.Float s.E.Stats.seconds);
+                   ("p50_seconds", J.Float q50);
+                   ("p90_seconds", J.Float q90);
+                   ("p99_seconds", J.Float q99);
+                 ])
+             (E.Stats.stages st)) );
+    ]
+
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 
@@ -359,8 +431,16 @@ let check_cmd =
         let o = Decision.decide ?budget eng sys in
         let ex = if explain then Some (Decision.explain eng sys o) else None in
         if json then begin
-          print_endline
-            (J.to_string_pretty (json_of_outcome ~file ?explain:ex sys o));
+          let j = json_of_outcome ~file ?explain:ex sys o in
+          let j =
+            match (j, stats) with
+            | J.Obj fields, true ->
+                J.Obj
+                  (fields
+                  @ [ ("stats", json_of_stats (Decision.stats eng)) ])
+            | _ -> j
+          in
+          print_endline (J.to_string_pretty j);
           exit (exit_code o)
         end
         else begin
@@ -428,16 +508,20 @@ let batch_cmd =
       print_endline
         (J.to_string_pretty
            (J.Obj
-              [
-                ( "results",
-                  J.List
-                    (List.map2
-                       (fun (file, sys) o ->
-                         json_of_outcome ~file ?explain:(explain_of sys o) sys
-                           o)
-                       named outcomes) );
-                ("report", json_of_report report);
-              ]))
+              ([
+                 ( "results",
+                   J.List
+                     (List.map2
+                        (fun (file, sys) o ->
+                          json_of_outcome ~file ?explain:(explain_of sys o) sys
+                            o)
+                        named outcomes) );
+                 ("report", json_of_report report);
+               ]
+              @
+              if stats then
+                [ ("stats", json_of_stats (Decision.stats eng)) ]
+              else [])))
     else begin
       List.iter2
         (fun (file, sys) (o : Decision.evidence E.Outcome.t) ->
@@ -1049,14 +1133,59 @@ let simulate_cmd =
       const run $ obs_setup_no_trace $ file_arg $ seeds $ backend $ lease_ttl
       $ crash_rate $ down_time $ latency $ sites $ trace_file)
 
+(* Smoke-test the telemetry endpoint: serve the (initially idle) global
+   registry until SIGINT, or for --for seconds in scripted runs. *)
+let telemetry_cmd =
+  let run port duration =
+    match Distlock_obs.Expose.start ~port ~registries:serve_registries () with
+    | Error msg ->
+        Printf.eprintf "distlock: %s\n" msg;
+        exit 2
+    | Ok srv ->
+        Printf.printf "serving on http://127.0.0.1:%d — /metrics /healthz \
+                       /vars (SIGINT to stop)\n%!"
+          (Distlock_obs.Expose.port srv);
+        Sys.catch_break true;
+        let deadline =
+          match duration with
+          | None -> Float.infinity
+          | Some s -> Unix.gettimeofday () +. s
+        in
+        (try
+           while Unix.gettimeofday () < deadline do
+             Unix.sleepf 0.2
+           done
+         with Sys.Break | Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        Distlock_obs.Expose.stop srv
+  in
+  let port =
+    Arg.(
+      value & opt int 0
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port to bind on 127.0.0.1 (default 0: pick a free port)")
+  in
+  let duration =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "for" ] ~docv:"SECONDS"
+          ~doc:"Stop after $(docv) seconds instead of waiting for SIGINT")
+  in
+  Cmd.v
+    (Cmd.info "telemetry"
+       ~doc:
+         "Serve the metrics endpoint (/metrics, /healthz, /vars) until \
+          SIGINT — a smoke target for scrape configs")
+    Term.(const run $ port $ duration)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval
        (Cmd.group ~default
-          (Cmd.info "distlock" ~version:"1.7.0"
+          (Cmd.info "distlock" ~version:"1.8.0"
              ~doc:"Safety of distributed locked transactions (Kanellakis & \
                    Papadimitriou 1982)")
           [ advise_cmd; batch_cmd; check_cmd; analyze_cmd; dgraph_cmd;
             deadlock_cmd; figures_cmd; mutate_cmd; plane_cmd; reduce_cmd;
-            repair_cmd; show_cmd; simulate_cmd ]))
+            repair_cmd; show_cmd; simulate_cmd; telemetry_cmd ]))

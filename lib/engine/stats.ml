@@ -190,6 +190,19 @@ let stages t =
   in
   List.rev_map view hs
 
+let quantiles t =
+  let hs =
+    with_lock t (fun () ->
+        List.filter_map (fun name -> Hashtbl.find_opt t.tbl name) t.order)
+  in
+  List.rev_map
+    (fun h ->
+      ( h.h_name,
+        ( M.quantile h.seconds_h 0.5,
+          M.quantile h.seconds_h 0.9,
+          M.quantile h.seconds_h 0.99 ) ))
+    hs
+
 (* Mean time per run, defined as 0 when the stage was recorded but never
    attempted (deadline skips only) — not NaN. *)
 let mean_seconds s =
@@ -211,14 +224,29 @@ let pp ppf t =
   (match stages t with
   | [] -> Format.fprintf ppf "(no stage activity)"
   | stages ->
-      Format.fprintf ppf "%-12s %8s %6s %8s %8s %7s %8s %12s %12s" "stage"
-        "runs" "safe" "unsafe" "passed" "errors" "skipped" "time" "mean";
+      let qs = quantiles t in
+      (* Bucket-interpolated, so a skip-only stage has no samples: its
+         quantiles are NaN and print as a dash. *)
+      let q ppf v =
+        if Float.is_nan v then Format.fprintf ppf " %12s" "-"
+        else Format.fprintf ppf " %9.3f ms" (v *. 1_000.)
+      in
+      Format.fprintf ppf "%-12s %8s %6s %8s %8s %7s %8s %12s %12s %12s %12s %12s"
+        "stage" "runs" "safe" "unsafe" "passed" "errors" "skipped" "time"
+        "mean" "p50" "p90" "p99";
       List.iter
         (fun s ->
-          Format.fprintf ppf "@,%-12s %8d %6d %8d %8d %7d %8d %9.3f ms %9.3f ms"
+          let q50, q90, q99 =
+            match List.assoc_opt s.stage_name qs with
+            | Some triple -> triple
+            | None -> (Float.nan, Float.nan, Float.nan)
+          in
+          Format.fprintf ppf
+            "@,%-12s %8d %6d %8d %8d %7d %8d %9.3f ms %9.3f ms%a%a%a"
             s.stage_name s.attempts s.decided_safe s.decided_unsafe s.passed
             s.errors s.skipped (s.seconds *. 1_000.)
-            (mean_seconds s *. 1_000.))
+            (mean_seconds s *. 1_000.)
+            q q50 q q90 q q99)
         stages);
   Format.fprintf ppf "@]"
 

@@ -71,6 +71,11 @@ val hit_rate : t -> float
 val stages : t -> stage list
 (** In first-recorded order. *)
 
+val quantiles : t -> (string * (float * float * float)) list
+(** Per-stage bucket-interpolated (p50, p90, p99) of the stage latency
+    histogram in seconds, in first-recorded order; a NaN triple for a
+    stage with no timed runs (e.g. only ever skipped). *)
+
 val mean_seconds : stage -> float
 (** Mean time per attempted run; [0.] (not NaN) for a stage that was
     recorded but never attempted, e.g. one only ever skipped. *)

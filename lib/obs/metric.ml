@@ -90,6 +90,41 @@ let cumulative h =
       !acc)
     counts
 
+(* Prometheus-style [histogram_quantile]: find the bucket containing the
+   q-th observation and interpolate linearly inside it. The +Inf bucket
+   has no upper edge, so a quantile landing there clamps to the highest
+   finite bound — the honest answer a fixed-bucket sketch can give. *)
+let quantile h q =
+  if q < 0. || q > 1. then invalid_arg "Metric.quantile: q outside [0,1]";
+  let counts, total =
+    with_lock h (fun () -> (Array.copy h.counts, h.observations))
+  in
+  if total = 0 then Float.nan
+  else begin
+    let n = Array.length h.bounds in
+    let target = q *. float_of_int total in
+    let rec find i acc =
+      if i > n then n
+      else
+        let acc' = acc + counts.(i) in
+        if float_of_int acc' >= target && counts.(i) > 0 then i
+        else find (i + 1) acc'
+    in
+    let rec below i acc = if i <= 0 then acc else below (i - 1) (acc + counts.(i - 1)) in
+    let i = find 0 0 in
+    if i >= n then h.bounds.(n - 1)
+    else
+      let lo = if i = 0 then 0. else h.bounds.(i - 1) in
+      let hi = h.bounds.(i) in
+      let before = below i 0 in
+      let inside = counts.(i) in
+      if inside = 0 then hi
+      else
+        let frac = (target -. float_of_int before) /. float_of_int inside in
+        let frac = Float.max 0. (Float.min 1. frac) in
+        lo +. ((hi -. lo) *. frac)
+  end
+
 let reset_histogram h =
   with_lock h (fun () ->
       Array.fill h.counts 0 (Array.length h.counts) 0;

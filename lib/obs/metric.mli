@@ -53,4 +53,12 @@ val cumulative : histogram -> int array
 (** Cumulative per-bucket counts in bound order; the final entry is the
     +Inf total and equals {!histogram_count}. *)
 
+val quantile : histogram -> float -> float
+(** [quantile h q] estimates the [q]-th quantile ([0 <= q <= 1]) by
+    linear interpolation within the bucket holding the q-th observation
+    (the same estimate Prometheus' [histogram_quantile] computes). A
+    quantile landing in the +Inf bucket clamps to the highest finite
+    bound; an empty histogram yields [nan]. Raises [Invalid_argument]
+    when [q] is outside [0, 1]. *)
+
 val reset_histogram : histogram -> unit

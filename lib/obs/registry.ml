@@ -122,6 +122,19 @@ let escape_label_value s =
     s;
   Buffer.contents buf
 
+(* HELP text escapes only backslash and newline (the 0.0.4 spec leaves
+   double quotes alone outside label values). *)
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let label_block labels =
   if labels = [] then ""
   else
@@ -158,7 +171,7 @@ let pp_prometheus ppf t =
     (fun (_, members) ->
       (match members with
       | e :: _ ->
-          Format.fprintf ppf "# HELP %s %s@." e.name e.help;
+          Format.fprintf ppf "# HELP %s %s@." e.name (escape_help e.help);
           Format.fprintf ppf "# TYPE %s %s@." e.name (kind_label e.instrument)
       | [] -> ());
       List.iter

@@ -24,19 +24,73 @@ let m_runs () =
   Distlock_obs.Registry.counter Obs.global
     ~help:"Event-driven simulator runs completed" "distlock_esim_runs_total"
 
-let m_crashes () =
-  Distlock_obs.Registry.counter Obs.global
-    ~help:"Worker crash events injected" "distlock_sim_crashes_total"
+(* Per-backend labeled instruments, resolved once per [run]: registry
+   get-or-create takes a mutex, so handles are captured up front and the
+   site-labeled histograms are memoized on first use. Ticks are integer
+   simulated time, so power-of-two buckets up to 512 cover everything
+   from an instant grant to a badly starved worker. *)
+let tick_buckets = [| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512. |]
 
-let m_expiries () =
-  Distlock_obs.Registry.counter Obs.global
-    ~help:"Leases expired while their holder was down"
-    "distlock_sim_lease_expiries_total"
+type meters = {
+  mm_grants : M.counter;
+  mm_queued : M.counter;
+  mm_expiries : M.counter;
+  mm_stale : M.counter;
+  mm_crashes : M.counter;
+  mm_restarts : M.counter;
+  mm_depth : M.gauge;
+  mm_wait : int -> M.histogram; (* by site *)
+  mm_hold : int -> M.histogram;
+  mm_msg : int -> M.histogram;
+}
 
-let m_stale () =
-  Distlock_obs.Registry.counter Obs.global
-    ~help:"Unlocks by a worker that no longer held the lock"
-    "distlock_sim_stale_unlocks_total"
+let make_meters backend_name =
+  let labels = [ ("backend", backend_name) ] in
+  let counter help name =
+    Distlock_obs.Registry.counter Obs.global ~labels ~help name
+  in
+  let site_histogram help name =
+    let cache = Hashtbl.create 8 in
+    fun site ->
+      match Hashtbl.find_opt cache site with
+      | Some h -> h
+      | None ->
+          let h =
+            Distlock_obs.Registry.histogram Obs.global
+              ~labels:(labels @ [ ("site", string_of_int site) ])
+              ~buckets:tick_buckets ~help name
+          in
+          Hashtbl.add cache site h;
+          h
+  in
+  {
+    mm_grants = counter "Lock requests granted" "distlock_sim_grants_total";
+    mm_queued =
+      counter "Lock requests queued behind a holder" "distlock_sim_queued_total";
+    mm_expiries =
+      counter "Leases expired while their holder was down"
+        "distlock_sim_lease_expiries_total";
+    mm_stale =
+      counter "Unlocks by a worker that no longer held the lock"
+        "distlock_sim_stale_releases_total";
+    mm_crashes =
+      counter "Worker crash events injected" "distlock_sim_crashes_total";
+    mm_restarts =
+      counter "Workers restarted after a crash" "distlock_sim_restarts_total";
+    mm_depth =
+      Distlock_obs.Registry.gauge Obs.global ~labels
+        ~help:"Pending events in the simulator clock"
+        "distlock_sim_event_queue_depth";
+    mm_wait =
+      site_histogram "Ticks between lock request and grant"
+        "distlock_sim_lock_wait_ticks";
+    mm_hold =
+      site_histogram "Ticks between lock grant and release"
+        "distlock_sim_lock_hold_ticks";
+    mm_msg =
+      site_histogram "Sampled message delivery latency in ticks"
+        "distlock_sim_message_latency_ticks";
+  }
 
 type stats = {
   ticks : int;  (** scheduling decisions taken *)
@@ -71,9 +125,11 @@ type instance = {
   mutable birth : int;
   mutable attempt : int;
   mutable waiting : int; (* step index of an outstanding queued lock, or -1 *)
+  mutable waiting_since : int; (* tick the outstanding request was issued *)
   mutable crashed : bool;
   mutable loc : int; (* site of the last executed step — where the worker is *)
   mutable pending_grants : int list; (* grants that arrived while crashed *)
+  mutable held_since : (int * int) list; (* entity -> tick of its grant *)
 }
 
 let home_site db txn =
@@ -115,11 +171,14 @@ let run ?(policy = Engine.Round_robin) ?(scenario = Scenario.default)
           birth = 0;
           attempt = 1;
           waiting = -1;
+          waiting_since = -1;
           crashed = false;
           loc = home_site db txn;
           pending_grants = [];
+          held_since = [];
         })
   in
+  let meters = make_meters (Backend.name backend) in
   (* Policy stream seeded like the legacy engine; fault and latency
      streams salted so they cannot collide with it. *)
   let rng =
@@ -163,7 +222,9 @@ let run ?(policy = Engine.Round_robin) ?(scenario = Scenario.default)
     inst.birth <- now ();
     inst.attempt <- inst.attempt + 1;
     inst.waiting <- -1;
+    inst.waiting_since <- -1;
     inst.pending_grants <- [];
+    inst.held_since <- [];
     inst.loc <- home_site db inst.txn
   in
   (* `Ready: predecessors executed and their results have arrived;
@@ -284,6 +345,7 @@ let run ?(policy = Engine.Round_robin) ?(scenario = Scenario.default)
     then begin
       inst.crashed <- true;
       incr crashes;
+      M.incr meters.mm_crashes;
       Backend.crash backend ~now:(now ()) ~owner:inst.txn_index;
       Clock.after clock ~delay:scenario.Scenario.down_time
         (Resume inst.txn_index);
@@ -322,10 +384,11 @@ let run ?(policy = Engine.Round_robin) ?(scenario = Scenario.default)
       for q = 0 to Txn.num_steps inst.txn - 1 do
         if Txn.precedes inst.txn s q then begin
           let site_q = Database.site db (Txn.step inst.txn q).Step.entity in
-          if site_q <> site_s then
-            inst.ready_at.(q) <-
-              max inst.ready_at.(q)
-                (now () + Latency.sample latency lat_rng ~src:site_s ~dst:site_q)
+          if site_q <> site_s then begin
+            let delay = Latency.sample latency lat_rng ~src:site_s ~dst:site_q in
+            M.observe (meters.mm_msg site_q) (float_of_int delay);
+            inst.ready_at.(q) <- max inst.ready_at.(q) (now () + delay)
+          end
         end
       done;
     if inst.executed = Txn.num_steps inst.txn then begin
@@ -343,6 +406,14 @@ let run ?(policy = Engine.Round_robin) ?(scenario = Scenario.default)
   in
   let complete_lock inst s =
     let step = Txn.step inst.txn s in
+    let site = Database.site db step.Step.entity in
+    let wait =
+      if inst.waiting_since >= 0 then now () - inst.waiting_since else 0
+    in
+    inst.waiting_since <- -1;
+    M.incr meters.mm_grants;
+    M.observe (meters.mm_wait site) (float_of_int wait);
+    inst.held_since <- (step.Step.entity, now ()) :: inst.held_since;
     Obs.event ~level:Obs.Debug ~attrs:(step_attrs inst step) "sim.lock.acquire";
     complete inst s
   in
@@ -351,7 +422,10 @@ let run ?(policy = Engine.Round_robin) ?(scenario = Scenario.default)
     match step.Step.action with
     | Step.Lock -> (
         let dst = Database.site db step.Step.entity in
-        let ready = now () + request_cost inst dst in
+        let cost = request_cost inst dst in
+        if cost > 0 then M.observe (meters.mm_msg dst) (float_of_int cost);
+        let ready = now () + cost in
+        inst.waiting_since <- now ();
         match
           Backend.acquire backend ~now:(now ()) ~owner:inst.txn_index
             ~ready_at:ready step.Step.entity
@@ -359,14 +433,24 @@ let run ?(policy = Engine.Round_robin) ?(scenario = Scenario.default)
         | Backend.Granted -> complete_lock inst s
         | Backend.Queued ->
             inst.waiting <- s;
+            M.incr meters.mm_queued;
             Obs.event ~level:Obs.Debug ~attrs:(step_attrs inst step)
               "sim.lock.queue")
     | Step.Unlock ->
+        (match List.assoc_opt step.Step.entity inst.held_since with
+        | Some granted ->
+            inst.held_since <-
+              List.remove_assoc step.Step.entity inst.held_since;
+            M.observe
+              (meters.mm_hold (Database.site db step.Step.entity))
+              (float_of_int (now () - granted))
+        | None -> ());
         if not (Backend.release backend ~owner:inst.txn_index step.Step.entity)
         then begin
           (* The manager moved on without us: lease expired while we
              were down. The worker doesn't notice and keeps going. *)
           incr stale;
+          M.incr meters.mm_stale;
           Obs.event ~attrs:(step_attrs inst step) "sim.lock.stale_release"
         end;
         Obs.event ~level:Obs.Debug ~attrs:(step_attrs inst step)
@@ -377,6 +461,7 @@ let run ?(policy = Engine.Round_robin) ?(scenario = Scenario.default)
   let handle_notice = function
     | Backend.Expired { entity; owner } ->
         incr expiries;
+        M.incr meters.mm_expiries;
         Obs.event
           ~attrs:(fun () ->
             [
@@ -474,6 +559,7 @@ let run ?(policy = Engine.Round_robin) ?(scenario = Scenario.default)
       result := Some (Error "max aborts exceeded")
     else begin
       incr ticks;
+      M.set meters.mm_depth (float_of_int (Clock.length clock));
       let notices = Backend.drain backend ~now:(now ()) in
       List.iter handle_notice notices;
       if not (all_committed ()) then begin
@@ -574,6 +660,7 @@ let run ?(policy = Engine.Round_robin) ?(scenario = Scenario.default)
   let resume i =
     let inst = instances.(i) in
     inst.crashed <- false;
+    M.incr meters.mm_restarts;
     Backend.resume backend ~owner:inst.txn_index;
     Obs.event
       ~attrs:(fun () ->
@@ -634,9 +721,6 @@ let run ?(policy = Engine.Round_robin) ?(scenario = Scenario.default)
           }
   in
   M.incr (m_runs ());
-  if !crashes > 0 then M.incr_by (m_crashes ()) !crashes;
-  if !expiries > 0 then M.incr_by (m_expiries ()) !expiries;
-  if !stale > 0 then M.incr_by (m_stale ()) !stale;
   if Obs.enabled () then
     Obs.add_attrs sp
       [

@@ -26,12 +26,18 @@ type txn_metrics = {
           the transaction never started. *)
   steps_executed : int;  (** including aborted attempts' steps *)
   wasted_steps : int;  (** steps of attempts that were aborted *)
+  wait_ticks : int;
+      (** Idle ticks between first start and commit — the span minus the
+          ticks the transaction actually executed a step on. *)
 }
 
 type site_metrics = {
   site : int;
   events : int;
   busy_span : int;  (** last tick minus first tick seen at the site *)
+  utilization : float;
+      (** Fraction of the makespan with a step executing at this site —
+          [busy_span] only brackets activity, this measures it. *)
 }
 
 type report = {
@@ -39,6 +45,12 @@ type report = {
   txns : txn_metrics list;
   sites : site_metrics list;
   makespan : int;
+  wait_p50 : float;
+      (** Bucket-interpolated percentiles of per-step waits (idle ticks
+          between a transaction's consecutive steps); [nan] when no
+          transaction executed two steps. *)
+  wait_p90 : float;
+  wait_p99 : float;
 }
 
 val analyze : System.t -> event list -> report

@@ -224,6 +224,8 @@ def check_bench(path):
             check_e18(e)
         if e["id"] == "E19":
             check_e19(e)
+        if e["id"] == "E20":
+            check_e20(e)
 
 
 def check_e15(e):
@@ -339,6 +341,36 @@ def check_e19(e):
             die(f"E19: {k} is {m[k]}, expected exactly 0")
     if m["deterministic"] is not True:
         die("E19: re-run with the same seeds diverged")
+
+
+def check_e20(e):
+    """The live-telemetry artifact: a concurrent scraper on the fully
+    instrumented simulator must cost under 1.10x against the
+    recorder-only baseline, the sim metric families must be present on
+    /metrics, and every scrape taken during a parallel batch must parse
+    with monotone counters."""
+    m = e["metrics"]
+    need(e["params"], ["corpus_systems", "seeds_per_system", "batch_queries",
+                       "batch_jobs"], "E20.params")
+    need(m, ["baseline_seconds", "scraped_seconds", "scrape_overhead_ratio",
+             "overhead_scrapes", "sim_families_present", "batch_scrapes",
+             "scrapes_parse", "counters_monotone"], "E20.metrics")
+    for k in ("baseline_seconds", "scraped_seconds"):
+        if m[k] <= 0:
+            die(f"E20: {k} not positive")
+    if m["scrape_overhead_ratio"] >= 1.10:
+        die(f"E20: scrape overhead {m['scrape_overhead_ratio']:.3f}x "
+            "at or above the 1.10x bar")
+    if m["overhead_scrapes"] < 1:
+        die("E20: no scrapes landed during the overhead measurement")
+    if m["sim_families_present"] is not True:
+        die("E20: simulator metric families missing from /metrics")
+    if m["batch_scrapes"] < 1:
+        die("E20: no scrapes landed during the parallel batch")
+    if m["scrapes_parse"] is not True:
+        die("E20: a scrape taken under concurrent writes failed to parse")
+    if m["counters_monotone"] is not True:
+        die("E20: decision counter went backwards between scrapes")
 
 
 def main():

@@ -271,6 +271,33 @@ every engine stage span carries its checker and verdict attributes:
   $ grep '^distlock_engine_decisions_total' metrics.prom
   distlock_engine_decisions_total 2
 
+--stats appends the per-stage table with bucket-interpolated latency
+quantiles (p50/p90/p99); --json carries the same numbers:
+
+  $ ../../bin/distlock_cli.exe check --stats safe.txt \
+  >   | sed -E 's/ +[0-9]+\.[0-9]+ ms/ X ms/g'
+  SAFE — Theorem 1: D(T1,T2) strongly connected
+  --
+  procedure: Thm 1
+  trivial      [trivial] passed X ms  two or more commonly locked entities
+  theorem1     [Thm 1  ] decided X ms  Theorem 1: D(T1,T2) strongly connected
+  decisions: 1 (0 unknown); cache: 0 hit(s), 1 miss(es), hit rate 0.0%
+  stage            runs   safe   unsafe   passed  errors  skipped         time         mean          p50          p90          p99
+  trivial             1      0        0        1       0        0 X ms X ms X ms X ms X ms
+  theorem1            1      1        0        0       0        0 X ms X ms X ms X ms X ms
+
+  $ ../../bin/distlock_cli.exe check --stats --json safe.txt \
+  >   | grep -cE '"p(50|90|99)_seconds"'
+  6
+
+--metrics-port keeps a live scrape endpoint (/metrics, /healthz, /vars)
+up for the whole run; port 0 picks an ephemeral port, reported on
+stderr so stdout stays parseable:
+
+  $ ../../bin/distlock_cli.exe check --metrics-port 0 safe.txt \
+  >   2>&1 >/dev/null | sed -E 's|:[0-9]+/|:PORT/|'
+  metrics: serving on http://127.0.0.1:PORT/metrics
+
 --jobs fans the batch's distinct systems out to a domain pool; verdicts,
 counts, and exit codes are the same as the sequential run, and the
 report names the job count:

@@ -646,6 +646,201 @@ let test_stats_reset () =
   check int "stage usable again after reset" 1
     (List.length (E.Stats.stages s))
 
+(* ------------------------------------------------------------------ *)
+(* Histogram quantiles *)
+
+let test_quantile_empty () =
+  let h = Metric.histogram ~buckets:[| 1.; 2. |] () in
+  check bool "empty histogram quantile is NaN" true
+    (Float.is_nan (Metric.quantile h 0.5))
+
+let test_quantile_interpolation () =
+  let h = Metric.histogram ~buckets:[| 1.; 2.; 4. |] () in
+  (* 4 observations in (1,2]: the bucket holding any quantile. *)
+  List.iter (fun v -> Metric.observe h v) [ 1.2; 1.4; 1.6; 1.8 ];
+  (* p50 target = 2nd observation of 4 in [1,2]: 1 + (2/4)*1 = 1.5 *)
+  check (Alcotest.float 1e-9) "p50 interpolates inside the bucket" 1.5
+    (Metric.quantile h 0.5);
+  check (Alcotest.float 1e-9) "p0 is the bucket's lower bound" 1.
+    (Metric.quantile h 0.);
+  check (Alcotest.float 1e-9) "p100 is the bucket's upper bound" 2.
+    (Metric.quantile h 1.)
+
+let test_quantile_inf_bucket () =
+  let h = Metric.histogram ~buckets:[| 1.; 2. |] () in
+  Metric.observe h 0.5;
+  Metric.observe h 50.;
+  (* The +Inf bucket has no upper bound to interpolate against; the
+     quantile clamps to the highest finite bound. *)
+  check (Alcotest.float 1e-9) "overflow quantile clamps to last bound" 2.
+    (Metric.quantile h 0.99)
+
+let test_quantile_invalid_q () =
+  let h = Metric.histogram ~buckets:[| 1. |] () in
+  Alcotest.check_raises "q out of range rejected"
+    (Invalid_argument "Metric.quantile: q outside [0,1]") (fun () ->
+      ignore (Metric.quantile h 1.5))
+
+(* ------------------------------------------------------------------ *)
+(* HELP escaping in the exposition *)
+
+let test_prometheus_help_escaped () =
+  let r = Registry.create () in
+  let _ =
+    Registry.counter r ~help:"line one\nback\\slash" "help_escape_total"
+  in
+  let out = Registry.to_prometheus r in
+  check bool "newline escaped in HELP" true
+    (contains out {|# HELP help_escape_total line one\nback\\slash|});
+  check bool "no literal newline inside the HELP text" false
+    (contains out "line one\nback")
+
+(* ------------------------------------------------------------------ *)
+(* Expose: the scrape endpoint *)
+
+let http_get ~port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf
+          "GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+          path
+      in
+      ignore (Unix.write_substring sock req 0 (String.length req));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let n = Unix.read sock chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        end
+      in
+      drain ();
+      Buffer.contents buf)
+
+let body_of resp =
+  let rec find i =
+    if i + 4 > String.length resp then resp
+    else if String.sub resp i 4 = "\r\n\r\n" then
+      String.sub resp (i + 4) (String.length resp - i - 4)
+    else find (i + 1)
+  in
+  find 0
+
+let with_server registries f =
+  match Expose.start ~port:0 ~registries () with
+  | Error m -> Alcotest.fail m
+  | Ok srv ->
+      Fun.protect ~finally:(fun () -> Expose.stop srv) (fun () ->
+          f (Expose.port srv))
+
+let test_expose_routes () =
+  let r = Registry.create () in
+  let c = Registry.counter r ~help:"a counter" "route_total" in
+  Metric.incr c;
+  let h = Registry.histogram r ~buckets:[| 1.; 2. |] ~help:"a hist" "lat" in
+  Metric.observe h 1.5;
+  with_server (fun () -> [ ("test", r) ]) (fun port ->
+      let metrics = http_get ~port "/metrics" in
+      check bool "metrics is 200" true (contains metrics "HTTP/1.1 200 OK");
+      check bool "prometheus content type" true
+        (contains metrics "text/plain; version=0.0.4");
+      check bool "counter served" true
+        (contains (body_of metrics) "route_total 1");
+      check bool "healthz" true (contains (http_get ~port "/healthz") "ok\n");
+      let vars = body_of (http_get ~port "/vars") in
+      check bool "vars carries the quantile snapshot" true
+        (contains vars {|"p50"|});
+      check bool "unknown path is 404" true
+        (contains (http_get ~port "/nope") "404 Not Found");
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          let req = "POST /metrics HTTP/1.1\r\n\r\n" in
+          ignore (Unix.write_substring sock req 0 (String.length req));
+          let buf = Bytes.create 256 in
+          let n = Unix.read sock buf 0 256 in
+          check bool "non-GET is 405" true
+            (contains (Bytes.sub_string buf 0 n) "405")));
+  (* stop is idempotent and the port is released: a second server can
+     bind a fresh ephemeral port immediately. *)
+  with_server (fun () -> [ ("test", r) ]) (fun port -> ignore port)
+
+(* Prometheus text sanity, shared with the hammer below: every
+   non-comment line must end in a numeric sample. *)
+let scrape_parses body =
+  String.split_on_char '\n' body
+  |> List.for_all (fun line ->
+         line = ""
+         || line.[0] = '#'
+         ||
+         match String.rindex_opt line ' ' with
+         | None -> false
+         | Some i ->
+             float_of_string_opt
+               (String.sub line (i + 1) (String.length line - i - 1))
+             <> None)
+
+let metric_value body name =
+  String.split_on_char '\n' body
+  |> List.find_map (fun line ->
+         if
+           String.length line > String.length name
+           && String.sub line 0 (String.length name) = name
+           && line.[String.length name] = ' '
+         then
+           match String.rindex_opt line ' ' with
+           | Some i ->
+               float_of_string_opt
+                 (String.sub line (i + 1) (String.length line - i - 1))
+           | None -> None
+         else None)
+
+let test_expose_scrape_under_write () =
+  let r = Registry.create () in
+  let stop = Atomic.make false in
+  (* Four writer domains hammer a shared counter and histogram while the
+     main thread scrapes in a loop: every scrape must parse, and the
+     counter must be monotone from one scrape to the next. *)
+  let writers =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let c =
+              Registry.counter r ~help:"hammered" "hammer_total"
+            and h =
+              Registry.histogram r
+                ~labels:[ ("writer", string_of_int d) ]
+                ~buckets:[| 1.; 10.; 100. |] ~help:"hammered" "hammer_lat"
+            in
+            while not (Atomic.get stop) do
+              Metric.incr c;
+              Metric.observe h (float_of_int (1 + (d * 7 mod 97)))
+            done))
+  in
+  with_server (fun () -> [ ("hammer", r) ]) (fun port ->
+      let last = ref neg_infinity in
+      for i = 1 to 25 do
+        let body = body_of (http_get ~port "/metrics") in
+        if not (scrape_parses body) then
+          Alcotest.failf "scrape %d failed to parse:\n%s" i body;
+        match metric_value body "hammer_total" with
+        | Some v ->
+            if v < !last then
+              Alcotest.failf "scrape %d: counter went backwards (%g < %g)" i v
+                !last;
+            last := v
+        | None -> ()
+      done;
+      Atomic.set stop true;
+      List.iter Domain.join writers;
+      check bool "writes landed" true (!last > 0.))
+
 let () =
   Alcotest.run "obs"
     [
@@ -661,6 +856,13 @@ let () =
           Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
           Alcotest.test_case "histogram validation" `Quick
             test_histogram_validation;
+          Alcotest.test_case "quantile empty" `Quick test_quantile_empty;
+          Alcotest.test_case "quantile interpolation" `Quick
+            test_quantile_interpolation;
+          Alcotest.test_case "quantile +Inf clamp" `Quick
+            test_quantile_inf_bucket;
+          Alcotest.test_case "quantile invalid q" `Quick
+            test_quantile_invalid_q;
         ] );
       ( "registry",
         [
@@ -672,6 +874,13 @@ let () =
           Alcotest.test_case "families contiguous" `Quick
             test_prometheus_families_contiguous;
           Alcotest.test_case "reset" `Quick test_registry_reset;
+          Alcotest.test_case "HELP escaped" `Quick test_prometheus_help_escaped;
+        ] );
+      ( "expose",
+        [
+          Alcotest.test_case "routes" `Quick test_expose_routes;
+          Alcotest.test_case "scrape under write" `Quick
+            test_expose_scrape_under_write;
         ] );
       ( "tracing",
         [
